@@ -1,0 +1,261 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section V). One benchmark per figure: Fig. 5–8 are the influence-
+// modeling ablations (IA vs IA-WP/IA-AP/IA-AW), Fig. 9–16 the
+// algorithm comparisons (MTA, IA, EIA, DIA, MI) under the four parameter
+// sweeps on the BK- and FS-like datasets.
+//
+// Benchmarks run at "bench scale" (a ~4× reduced world) so the whole
+// suite finishes in minutes; run `go run ./cmd/dita-bench` for the
+// full Table II scale. Use -v to see each figure's series: every
+// benchmark logs the same rows the corresponding figure plots, and
+// reports the headline metric via b.ReportMetric.
+package dita_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/experiments"
+)
+
+// Bench-scale sweeps: same five-point structure as the paper, reduced
+// sizes.
+var (
+	benchTaskSweep   = []int{100, 200, 300, 400, 500}
+	benchWorkerSweep = []int{80, 160, 240, 320, 400}
+)
+
+func benchParams() experiments.Params {
+	return experiments.Params{
+		NumTasks:   300,
+		NumWorkers: 240,
+		ValidHours: 5,
+		RadiusKm:   25,
+		Days:       []int{10, 11},
+		Seed:       42,
+	}
+}
+
+func benchDataset(name string) dataset.Params {
+	var p dataset.Params
+	if name == "BK" {
+		p = dataset.BrightkiteLike()
+		p.NumUsers = 600
+		p.NumVenues = 800
+	} else {
+		p = dataset.FoursquareLike()
+		p.NumUsers = 600
+		p.NumVenues = 800
+	}
+	p.Days = 12
+	return p
+}
+
+var (
+	runnersOnce sync.Once
+	runners     map[string]*experiments.Runner
+	runnersErr  error
+)
+
+// getRunner trains one framework per dataset, shared across all
+// benchmarks in the binary (training time is excluded from every
+// measurement).
+func getRunner(b *testing.B, name string) *experiments.Runner {
+	b.Helper()
+	runnersOnce.Do(func() {
+		runners = map[string]*experiments.Runner{}
+		for _, n := range []string{"BK", "FS"} {
+			data, err := dataset.Generate(benchDataset(n))
+			if err != nil {
+				runnersErr = err
+				return
+			}
+			r, err := experiments.NewRunner(data, core.Config{TopWillingnessLocations: 8}, benchParams())
+			if err != nil {
+				runnersErr = err
+				return
+			}
+			runners[n] = r
+		}
+	})
+	if runnersErr != nil {
+		b.Fatal(runnersErr)
+	}
+	return runners[name]
+}
+
+// logResult writes the figure's series into the benchmark log (visible
+// with -v) — the same rows the paper's figure plots.
+func logResult(b *testing.B, res *experiments.Result, metrics []experiments.Metric) {
+	b.Helper()
+	var buf bytes.Buffer
+	res.FormatAll(&buf, metrics)
+	b.Log("\n" + buf.String())
+}
+
+// reportAI attaches the headline AI value (first algorithm at the
+// largest sweep point) as a custom benchmark metric.
+func reportAI(b *testing.B, res *experiments.Result) {
+	xs := res.Xs()
+	if len(xs) == 0 {
+		return
+	}
+	algs := res.Algorithms()
+	if len(algs) == 0 {
+		return
+	}
+	if v, ok := res.Value(xs[len(xs)-1], algs[0], experiments.MetricAI); ok {
+		b.ReportMetric(v, "AI")
+	}
+	if v, ok := res.Value(xs[len(xs)-1], algs[0], experiments.MetricAssigned); ok {
+		b.ReportMetric(v, "assigned")
+	}
+}
+
+func runAblationBench(b *testing.B, ds string, run func(*experiments.Runner) (*experiments.Result, error)) {
+	r := getRunner(b, ds)
+	b.ResetTimer()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logResult(b, res, []experiments.Metric{experiments.MetricAI})
+	reportAI(b, res)
+}
+
+func runComparisonBench(b *testing.B, ds string, run func(*experiments.Runner) (*experiments.Result, error)) {
+	r := getRunner(b, ds)
+	b.ResetTimer()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logResult(b, res, experiments.AllMetrics)
+	reportAI(b, res)
+}
+
+// Fig. 5 — effect of |S| on AI for IA, IA-WP, IA-AP, IA-AW (panels: BK, FS).
+
+func BenchmarkFig05_AblationTasks_BK(b *testing.B) {
+	runAblationBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationTasks(benchTaskSweep)
+	})
+}
+
+func BenchmarkFig05_AblationTasks_FS(b *testing.B) {
+	runAblationBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationTasks(benchTaskSweep)
+	})
+}
+
+// Fig. 6 — effect of |W| on AI for the IA variants.
+
+func BenchmarkFig06_AblationWorkers_BK(b *testing.B) {
+	runAblationBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationWorkers(benchWorkerSweep)
+	})
+}
+
+func BenchmarkFig06_AblationWorkers_FS(b *testing.B) {
+	runAblationBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationWorkers(benchWorkerSweep)
+	})
+}
+
+// Fig. 7 — effect of ϕ on AI for the IA variants.
+
+func BenchmarkFig07_AblationValidTime_BK(b *testing.B) {
+	runAblationBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationValidTime(experiments.ValidTimeSweep)
+	})
+}
+
+func BenchmarkFig07_AblationValidTime_FS(b *testing.B) {
+	runAblationBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationValidTime(experiments.ValidTimeSweep)
+	})
+}
+
+// Fig. 8 — effect of r on AI for the IA variants.
+
+func BenchmarkFig08_AblationRadius_BK(b *testing.B) {
+	runAblationBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationRadius(experiments.RadiusSweep)
+	})
+}
+
+func BenchmarkFig08_AblationRadius_FS(b *testing.B) {
+	runAblationBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.AblationRadius(experiments.RadiusSweep)
+	})
+}
+
+// Fig. 9 / Fig. 10 — effect of |S| on all five metrics for the five
+// algorithms, on BK and FS respectively.
+
+func BenchmarkFig09_TasksBK(b *testing.B) {
+	runComparisonBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareTasks(benchTaskSweep)
+	})
+}
+
+func BenchmarkFig10_TasksFS(b *testing.B) {
+	runComparisonBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareTasks(benchTaskSweep)
+	})
+}
+
+// Fig. 11 / Fig. 12 — effect of |W|.
+
+func BenchmarkFig11_WorkersBK(b *testing.B) {
+	runComparisonBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareWorkers(benchWorkerSweep)
+	})
+}
+
+func BenchmarkFig12_WorkersFS(b *testing.B) {
+	runComparisonBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareWorkers(benchWorkerSweep)
+	})
+}
+
+// Fig. 13 / Fig. 14 — effect of ϕ.
+
+func BenchmarkFig13_ValidTimeBK(b *testing.B) {
+	runComparisonBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareValidTime(experiments.ValidTimeSweep)
+	})
+}
+
+func BenchmarkFig14_ValidTimeFS(b *testing.B) {
+	runComparisonBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareValidTime(experiments.ValidTimeSweep)
+	})
+}
+
+// Fig. 15 / Fig. 16 — effect of r.
+
+func BenchmarkFig15_RadiusBK(b *testing.B) {
+	runComparisonBench(b, "BK", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareRadius(experiments.RadiusSweep)
+	})
+}
+
+func BenchmarkFig16_RadiusFS(b *testing.B) {
+	runComparisonBench(b, "FS", func(r *experiments.Runner) (*experiments.Result, error) {
+		return r.CompareRadius(experiments.RadiusSweep)
+	})
+}

@@ -1,0 +1,187 @@
+// Command dita-bench regenerates the paper's evaluation figures (5–16)
+// on the simulated Brightkite-like and FourSquare-like datasets and
+// prints each figure's series as aligned tables (and optionally CSV).
+//
+// Usage:
+//
+//	dita-bench [-datasets bk,fs] [-figures all|5,9,15] [-scale full|quick]
+//	           [-csv dir] [-days n]
+//
+// A full run with -scale full uses Table II defaults (|S|=1500, |W|=1200,
+// ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
+// quick shrinks instance sizes ~5× for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		datasetsFlag = flag.String("datasets", "bk,fs", "comma-separated datasets: bk, fs")
+		figuresFlag  = flag.String("figures", "all", "comma-separated figure numbers (5-16) or 'all'")
+		scale        = flag.String("scale", "full", "experiment scale: full (Table II) or quick")
+		csvDir       = flag.String("csv", "", "directory to also write per-figure CSV files")
+		days         = flag.Int("days", 0, "override the number of evaluation days")
+		seed         = flag.Uint64("seed", 42, "experiment seed")
+	)
+	flag.Parse()
+
+	wanted := map[int]bool{}
+	if *figuresFlag == "all" {
+		for f := 5; f <= 16; f++ {
+			wanted[f] = true
+		}
+	} else {
+		for _, tok := range strings.Split(*figuresFlag, ",") {
+			f, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || f < 5 || f > 16 {
+				log.Fatalf("bad figure %q (want 5..16)", tok)
+			}
+			wanted[f] = true
+		}
+	}
+
+	for _, name := range strings.Split(*datasetsFlag, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		var dp dataset.Params
+		switch name {
+		case "bk":
+			dp = dataset.BrightkiteLike()
+		case "fs":
+			dp = dataset.FoursquareLike()
+		default:
+			log.Fatalf("unknown dataset %q (want bk or fs)", name)
+		}
+		runDataset(dp, wanted, *scale, *csvDir, *days, *seed)
+	}
+}
+
+func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64) {
+	isBK := dp.Name == "BK"
+	// Figures on this dataset: odd numbers are BK, even are FS, except
+	// the ablation figures 5-8 which the paper shows for both (panels a
+	// and b).
+	any := false
+	for f := range wanted {
+		if f <= 8 || (isBK == (f%2 == 1)) {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+
+	params := experiments.Default()
+	taskSweep := experiments.TaskSweep
+	workerSweep := experiments.WorkerSweep
+	if scale == "quick" {
+		params = experiments.Quick()
+		taskSweep = []int{100, 200, 300, 400, 500}
+		workerSweep = []int{80, 160, 240, 320, 400}
+	}
+	params.Seed = seed
+	if daysOverride > 0 {
+		params.Days = params.Days[:0]
+		last := dp.Days - 1
+		for d := last - daysOverride + 1; d <= last; d++ {
+			params.Days = append(params.Days, d)
+		}
+	}
+
+	fmt.Printf("=== dataset %s: generating (%d users, %d venues, %d days, seed %d)\n",
+		dp.Name, dp.NumUsers, dp.NumVenues, dp.Days, dp.Seed)
+	start := time.Now()
+	data, err := dataset.Generate(dp)
+	if err != nil {
+		log.Fatalf("generate %s: %v", dp.Name, err)
+	}
+	fmt.Printf("    %d check-ins, %d social edges (%.1fs)\n",
+		data.NumCheckIns(), data.Graph.M(), time.Since(start).Seconds())
+
+	start = time.Now()
+	runner, err := experiments.NewRunner(data, core.Config{TopWillingnessLocations: 8}, params)
+	if err != nil {
+		log.Fatalf("train %s: %v", dp.Name, err)
+	}
+	fmt.Printf("    DITA framework trained (%.1fs): %d RRR sets, %d mobility models\n\n",
+		time.Since(start).Seconds(),
+		runner.FW.Propagation().NumSets(), runner.FW.Mobility().NumWorkers())
+
+	type job struct {
+		fig  int
+		only experiments.Metric // zero = all metrics
+		run  func() (*experiments.Result, error)
+	}
+	jobs := []job{
+		{5, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationTasks(taskSweep) }},
+		{6, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationWorkers(workerSweep) }},
+		{7, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationValidTime(experiments.ValidTimeSweep) }},
+		{8, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationRadius(experiments.RadiusSweep) }},
+	}
+	if isBK {
+		jobs = append(jobs,
+			job{9, "", func() (*experiments.Result, error) { return runner.CompareTasks(taskSweep) }},
+			job{11, "", func() (*experiments.Result, error) { return runner.CompareWorkers(workerSweep) }},
+			job{13, "", func() (*experiments.Result, error) { return runner.CompareValidTime(experiments.ValidTimeSweep) }},
+			job{15, "", func() (*experiments.Result, error) { return runner.CompareRadius(experiments.RadiusSweep) }},
+		)
+	} else {
+		jobs = append(jobs,
+			job{10, "", func() (*experiments.Result, error) { return runner.CompareTasks(taskSweep) }},
+			job{12, "", func() (*experiments.Result, error) { return runner.CompareWorkers(workerSweep) }},
+			job{14, "", func() (*experiments.Result, error) { return runner.CompareValidTime(experiments.ValidTimeSweep) }},
+			job{16, "", func() (*experiments.Result, error) { return runner.CompareRadius(experiments.RadiusSweep) }},
+		)
+	}
+
+	for _, j := range jobs {
+		if !wanted[j.fig] {
+			continue
+		}
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			log.Fatalf("figure %d on %s: %v", j.fig, dp.Name, err)
+		}
+		if j.only != "" {
+			res.FormatTable(os.Stdout, j.only)
+			fmt.Println()
+		} else {
+			res.FormatAll(os.Stdout, experiments.AllMetrics)
+		}
+		fmt.Printf("    [figure %d on %s finished in %.1fs]\n\n", j.fig, dp.Name, time.Since(start).Seconds())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, fmt.Sprintf("fig%02d_%s.csv", j.fig, strings.ToLower(dp.Name)), res); err != nil {
+				log.Fatalf("csv: %v", err)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

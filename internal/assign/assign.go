@@ -1,0 +1,275 @@
+// Package assign implements the task-assignment algorithms of Section IV
+// plus the two baselines of the evaluation:
+//
+//   - MTA — Maximum Task Assignment (Kazemi & Shahabi): max flow only.
+//   - IA  — basic Influence-aware Assignment: min-cost max-flow with edge
+//     cost 1/(if(w,s)+1).
+//   - EIA — Entropy-based IA: cost (s.e+1)/(if(w,s)+1).
+//   - DIA — Distance-based IA: cost 1/(F(w,s)·if(w,s)+1) with
+//     F = 1 − min(1, d(w,s)/w.r).
+//   - MI  — Maximum Influence: ignores the primary goal and greedily
+//     maximizes total influence over feasible pairs.
+//
+// All algorithms share the same spatio-temporal feasibility predicate
+// (reachable radius and expiry deadline at a common travel speed) and the
+// same flow-network construction (Figure 4): source → workers (cap 1),
+// worker → feasible task (cap 1, algorithm-specific cost), task → sink
+// (cap 1).
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"dita/internal/flow"
+	"dita/internal/geo"
+	"dita/internal/model"
+)
+
+// Algorithm selects an assignment strategy.
+type Algorithm int
+
+// The five algorithms of the experimental study.
+const (
+	MTA Algorithm = iota
+	IA
+	EIA
+	DIA
+	MI
+)
+
+// Algorithms lists all algorithms in the order the paper's figures do.
+var Algorithms = []Algorithm{MTA, IA, EIA, DIA, MI}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MTA:
+		return "MTA"
+	case IA:
+		return "IA"
+	case EIA:
+		return "EIA"
+	case DIA:
+		return "DIA"
+	case MI:
+		return "MI"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a name (as printed by String) back to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("assign: unknown algorithm %q", s)
+}
+
+// Pair is one feasible worker-task pair: worker index W (into
+// Instance.Workers), task index T (into Instance.Tasks) and their
+// distance in kilometres.
+type Pair struct {
+	W, T int32
+	Dist float64
+}
+
+// Problem bundles everything an algorithm needs for one time instance.
+type Problem struct {
+	Inst *model.Instance
+	// Influence returns if(w, s) for instance worker index w and task
+	// index t. Required by IA, EIA, DIA and MI; MTA ignores it.
+	Influence func(w, t int) float64
+	// Entropy returns the location entropy of task index t. Only EIA
+	// reads it; nil is treated as zero entropy everywhere.
+	Entropy func(t int) float64
+	// SpeedKmH converts distance to travel time for the deadline check;
+	// non-positive values default to 5 km/h (the paper's setting).
+	SpeedKmH float64
+	// Pairs optionally carries precomputed feasible pairs so several
+	// algorithms can share one feasibility computation; when nil, Solve
+	// computes them.
+	Pairs []Pair
+}
+
+func (p *Problem) speed() float64 {
+	if p.SpeedKmH > 0 {
+		return p.SpeedKmH
+	}
+	return 5
+}
+
+func (p *Problem) influence(w, t int) float64 {
+	if p.Influence == nil {
+		return 0
+	}
+	return p.Influence(w, t)
+}
+
+// FeasiblePairs computes the available assignments w.A for every worker:
+// all (w, s) with d(w.l, s.l) ≤ w.r and now + d/speed ≤ s.p + s.ϕ. It
+// uses a uniform grid over task locations so the cost is near-linear in
+// the output size. Pairs are ordered by (worker, task) index.
+func FeasiblePairs(inst *model.Instance, speedKmH float64) []Pair {
+	if speedKmH <= 0 {
+		speedKmH = 5
+	}
+	taskLocs := make([]geo.Point, len(inst.Tasks))
+	for i, t := range inst.Tasks {
+		taskLocs[i] = t.Loc
+	}
+	grid := geo.BuildGrid(taskLocs, 8)
+	var pairs []Pair
+	var buf []int
+	for wi, w := range inst.Workers {
+		buf = grid.Within(w.Loc, w.Radius, buf[:0])
+		for _, ti := range buf {
+			s := inst.Tasks[ti]
+			d := geo.Dist(w.Loc, s.Loc)
+			if inst.Now+d/speedKmH <= s.Expiry() {
+				pairs = append(pairs, Pair{W: int32(wi), T: int32(ti), Dist: d})
+			}
+		}
+	}
+	return pairs
+}
+
+// Solve runs the selected algorithm and returns the assignment set with
+// per-pair influence and travel distance filled in.
+func Solve(alg Algorithm, p *Problem) *model.AssignmentSet {
+	pairs := p.Pairs
+	if pairs == nil {
+		pairs = FeasiblePairs(p.Inst, p.speed())
+	}
+	switch alg {
+	case MTA:
+		return solveMaxFlow(p, pairs)
+	case MI:
+		return solveGreedyInfluence(p, pairs)
+	case IA, EIA, DIA:
+		return solveMinCost(alg, p, pairs)
+	default:
+		panic(fmt.Sprintf("assign: unknown algorithm %d", int(alg)))
+	}
+}
+
+// edgeCost prices a worker→task edge for the three flow-based
+// influence-aware algorithms.
+func edgeCost(alg Algorithm, p *Problem, pr Pair) float64 {
+	inf := p.influence(int(pr.W), int(pr.T))
+	switch alg {
+	case IA:
+		return 1 / (inf + 1)
+	case EIA:
+		e := 0.0
+		if p.Entropy != nil {
+			e = p.Entropy(int(pr.T))
+		}
+		return (e + 1) / (inf + 1)
+	case DIA:
+		r := p.Inst.Workers[pr.W].Radius
+		f := 0.0
+		if r > 0 {
+			ratio := pr.Dist / r
+			if ratio > 1 {
+				ratio = 1
+			}
+			f = 1 - ratio
+		}
+		return 1 / (f*inf + 1)
+	default:
+		return 0
+	}
+}
+
+// buildNetwork constructs the Figure-4 flow network. Node layout:
+// 0 = source, 1..nW = workers, nW+1..nW+nT = tasks, nW+nT+1 = sink.
+// It returns the network, the source/sink ids and the edge id of every
+// worker→task pair (aligned with pairs).
+func buildNetwork(p *Problem, pairs []Pair, alg Algorithm) (g *flow.Network, s, t int, pairEdges []int) {
+	nW, nT := len(p.Inst.Workers), len(p.Inst.Tasks)
+	g = flow.NewNetwork(nW + nT + 2)
+	s, t = 0, nW+nT+1
+	for w := 0; w < nW; w++ {
+		g.AddEdge(s, 1+w, 1, 0)
+	}
+	for j := 0; j < nT; j++ {
+		g.AddEdge(1+nW+j, t, 1, 0)
+	}
+	pairEdges = make([]int, len(pairs))
+	for i, pr := range pairs {
+		cost := 0.0
+		if alg != MTA {
+			cost = edgeCost(alg, p, pr)
+		}
+		pairEdges[i] = g.AddEdge(1+int(pr.W), 1+nW+int(pr.T), 1, cost)
+	}
+	return g, s, t, pairEdges
+}
+
+func collect(p *Problem, pairs []Pair, taken func(i int) bool) *model.AssignmentSet {
+	out := &model.AssignmentSet{}
+	for i, pr := range pairs {
+		if !taken(i) {
+			continue
+		}
+		out.Pairs = append(out.Pairs, model.Assignment{
+			Task:   p.Inst.Tasks[pr.T].ID,
+			Worker: p.Inst.Workers[pr.W].ID,
+		})
+		out.Influence = append(out.Influence, p.influence(int(pr.W), int(pr.T)))
+		out.TravelKm = append(out.TravelKm, pr.Dist)
+	}
+	return out
+}
+
+func solveMaxFlow(p *Problem, pairs []Pair) *model.AssignmentSet {
+	g, s, t, pairEdges := buildNetwork(p, pairs, MTA)
+	g.MaxFlow(s, t)
+	return collect(p, pairs, func(i int) bool { return g.Flow(pairEdges[i]) > 0 })
+}
+
+func solveMinCost(alg Algorithm, p *Problem, pairs []Pair) *model.AssignmentSet {
+	g, s, t, pairEdges := buildNetwork(p, pairs, alg)
+	g.MinCostMaxFlow(s, t)
+	return collect(p, pairs, func(i int) bool { return g.Flow(pairEdges[i]) > 0 })
+}
+
+// solveGreedyInfluence implements MI: for each task the feasible workers
+// are its candidates (step 1); pairs are then taken in descending
+// influence order, skipping used workers and tasks (step 2). Ties break
+// on (worker, task) index so the result is deterministic.
+func solveGreedyInfluence(p *Problem, pairs []Pair) *model.AssignmentSet {
+	order := make([]int, len(pairs))
+	infl := make([]float64, len(pairs))
+	for i := range pairs {
+		order[i] = i
+		infl[i] = p.influence(int(pairs[i].W), int(pairs[i].T))
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if infl[ia] != infl[ib] {
+			return infl[ia] > infl[ib]
+		}
+		if pairs[ia].W != pairs[ib].W {
+			return pairs[ia].W < pairs[ib].W
+		}
+		return pairs[ia].T < pairs[ib].T
+	})
+	usedW := make([]bool, len(p.Inst.Workers))
+	usedT := make([]bool, len(p.Inst.Tasks))
+	taken := make([]bool, len(pairs))
+	for _, i := range order {
+		pr := pairs[i]
+		if usedW[pr.W] || usedT[pr.T] {
+			continue
+		}
+		usedW[pr.W] = true
+		usedT[pr.T] = true
+		taken[i] = true
+	}
+	return collect(p, pairs, func(i int) bool { return taken[i] })
+}

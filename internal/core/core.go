@@ -1,0 +1,207 @@
+// Package core assembles the DITA framework (Figure 2): it trains the
+// three influence-modeling components — LDA worker-task affinity,
+// Historical Acceptance willingness, and RPO worker propagation — from a
+// dataset's historical records and social network, then answers
+// per-instance task-assignment requests with any of the five algorithms
+// while recording the evaluation metrics of Section V (number of
+// assigned tasks, Average Influence, Average Propagation, travel cost,
+// CPU time).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dita/internal/assign"
+	"dita/internal/entropy"
+	"dita/internal/influence"
+	"dita/internal/lda"
+	"dita/internal/mobility"
+	"dita/internal/model"
+	"dita/internal/rrr"
+	"dita/internal/socialgraph"
+)
+
+// Config gathers the training knobs of the whole framework. Zero values
+// mean "the paper's defaults": |Top| = 50 topics, ε = 0.1, o = 1, worker
+// speed 5 km/h.
+type Config struct {
+	LDA      lda.Config
+	Mobility mobility.Config
+	RPO      rrr.Params
+	// SpeedKmH is the shared worker travel speed; default 5.
+	SpeedKmH float64
+	// TopWillingnessLocations bounds the per-worker location set used in
+	// the dense willingness matrix; 0 keeps all locations. See
+	// influence.Engine.TopLocations.
+	TopWillingnessLocations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpeedKmH <= 0 {
+		c.SpeedKmH = 5
+	}
+	return c
+}
+
+// TrainingData is the input of Train: the social network, the historical
+// task-performing records (per user, time-ordered), and the category
+// vocabulary size.
+type TrainingData struct {
+	Graph     *socialgraph.Graph
+	Histories map[model.WorkerID]model.History
+	// Documents[u] is user u's LDA document (category labels of performed
+	// tasks); indexed by user id, may be shorter than Graph.N().
+	Documents [][]int32
+	Vocab     int
+	// Records is the flat check-in list used for location entropy;
+	// typically the concatenation of Histories.
+	Records []model.CheckIn
+}
+
+// Framework is a trained DITA instance. It is safe for concurrent reads
+// (all state is immutable after Train).
+type Framework struct {
+	cfg     Config
+	graph   *socialgraph.Graph
+	lda     *lda.Model
+	theta   [][]float64
+	mob     *mobility.Model
+	entropy *entropy.Table
+	prop    *rrr.Collection
+	engine  *influence.Engine
+}
+
+// Train fits every model of the influence-modeling component and returns
+// a ready framework.
+func Train(data TrainingData, cfg Config) (*Framework, error) {
+	cfg = cfg.withDefaults()
+	if data.Graph == nil {
+		return nil, fmt.Errorf("core: training data has no social graph")
+	}
+	if data.Vocab <= 0 {
+		return nil, fmt.Errorf("core: vocabulary size %d must be positive", data.Vocab)
+	}
+	ldaModel, err := lda.Train(data.Documents, data.Vocab, cfg.LDA)
+	if err != nil {
+		return nil, fmt.Errorf("core: training LDA: %w", err)
+	}
+	theta := make([][]float64, data.Graph.N())
+	for u := range data.Documents {
+		if u >= len(theta) {
+			break
+		}
+		if len(data.Documents[u]) > 0 {
+			theta[u] = ldaModel.DocTopics(u)
+		}
+	}
+	f := &Framework{
+		cfg:     cfg,
+		graph:   data.Graph,
+		lda:     ldaModel,
+		theta:   theta,
+		mob:     mobility.Fit(data.Histories, cfg.Mobility),
+		entropy: entropy.Compute(data.Records),
+		prop:    rrr.Build(data.Graph, cfg.RPO),
+	}
+	f.engine = &influence.Engine{
+		Prop:         f.prop,
+		Wil:          f.mob,
+		LDA:          f.lda,
+		ThetaUser:    f.theta,
+		TopLocations: cfg.TopWillingnessLocations,
+	}
+	return f, nil
+}
+
+// Graph returns the social network the framework was trained on.
+func (f *Framework) Graph() *socialgraph.Graph { return f.graph }
+
+// LDA returns the trained topic model.
+func (f *Framework) LDA() *lda.Model { return f.lda }
+
+// Mobility returns the fitted Historical Acceptance model.
+func (f *Framework) Mobility() *mobility.Model { return f.mob }
+
+// Entropy returns the location-entropy table.
+func (f *Framework) Entropy() *entropy.Table { return f.entropy }
+
+// Propagation returns the RRR collection behind worker propagation.
+func (f *Framework) Propagation() *rrr.Collection { return f.prop }
+
+// Engine returns the influence engine (for advanced callers that want to
+// prepare evaluators directly).
+func (f *Framework) Engine() *influence.Engine { return f.engine }
+
+// Speed returns the configured worker travel speed in km/h.
+func (f *Framework) Speed() float64 { return f.cfg.SpeedKmH }
+
+// Metrics are the per-run evaluation measurements of Section V-B.
+type Metrics struct {
+	Algorithm  string
+	Assigned   int           // |A|
+	AI         float64       // Average Influence (Equation 6)
+	AP         float64       // Average Propagation (Equation 7)
+	TravelKm   float64       // mean travel distance of assigned workers
+	CPU        time.Duration // assignment computation time only
+	Feasible   int           // number of feasible worker-task pairs (edges m)
+	NumWorkers int
+	NumTasks   int
+}
+
+// Prepare computes the influence evaluator for an instance under a
+// component mask. The evaluator is reusable across algorithms; building
+// it is the "worker-task influence modeling" phase of DITA and is
+// deliberately excluded from the assignment CPU-time metric, matching
+// the paper's phase split.
+func (f *Framework) Prepare(inst *model.Instance, comps influence.Components, seed uint64) *influence.Evaluator {
+	return f.engine.Prepare(inst, comps, seed)
+}
+
+// AssignPrepared runs one algorithm against a prepared evaluator and
+// returns the assignment with its metrics. pairs may be nil, in which
+// case feasible pairs are computed (and charged to CPU time, as edge
+// construction is part of assignment in the paper's measurement).
+func (f *Framework) AssignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
+	start := time.Now()
+	if pairs == nil {
+		pairs = assign.FeasiblePairs(inst, f.cfg.SpeedKmH)
+	}
+	prob := &assign.Problem{
+		Inst:      inst,
+		Influence: ev.Influence,
+		Entropy: func(t int) float64 {
+			return f.entropy.Lookup(inst.Tasks[t].Venue)
+		},
+		SpeedKmH: f.cfg.SpeedKmH,
+		Pairs:    pairs,
+	}
+	set := assign.Solve(alg, prob)
+	cpu := time.Since(start)
+
+	m := Metrics{
+		Algorithm:  alg.String(),
+		Assigned:   set.Len(),
+		AI:         set.AverageInfluence(),
+		TravelKm:   set.AverageTravel(),
+		CPU:        cpu,
+		Feasible:   len(pairs),
+		NumWorkers: len(inst.Workers),
+		NumTasks:   len(inst.Tasks),
+	}
+	if set.Len() > 0 {
+		apSum := 0.0
+		for _, pr := range set.Pairs {
+			apSum += ev.PropagationSum(int(pr.Worker))
+		}
+		m.AP = apSum / float64(set.Len())
+	}
+	return set, m
+}
+
+// Assign is the one-call path: prepare the evaluator with the full
+// influence model and run the algorithm.
+func (f *Framework) Assign(inst *model.Instance, alg assign.Algorithm, seed uint64) (*model.AssignmentSet, Metrics) {
+	ev := f.Prepare(inst, influence.All, seed)
+	return f.AssignPrepared(inst, ev, alg, nil)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dita/internal/assign"
+	"dita/internal/dataset"
+	"dita/internal/influence"
+	"dita/internal/lda"
+	"dita/internal/model"
+)
+
+// testFramework trains a small framework on a generated dataset and
+// returns both. Kept cheap; shared by most tests in this file.
+func testFramework(t *testing.T) (*Framework, *dataset.Data) {
+	t.Helper()
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 200
+	p.NumVenues = 250
+	p.Days = 8
+	p.Seed = 11
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 6 * 24.0
+	docs, vocab := data.Documents(cutoff)
+	fw, err := Train(TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, Config{LDA: lda.Config{Topics: 10, TrainIters: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, data
+}
+
+func testInstance(t *testing.T, data *dataset.Data) *model.Instance {
+	t.Helper()
+	inst, err := data.Snapshot(dataset.SnapshotParams{
+		Day: 6, NumTasks: 60, NumWorkers: 50, ValidHours: 5, RadiusKm: 25, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(TrainingData{}, Config{}); err == nil {
+		t.Error("training without a graph accepted")
+	}
+}
+
+func TestTrainedComponentsPresent(t *testing.T) {
+	fw, _ := testFramework(t)
+	if fw.Graph() == nil || fw.LDA() == nil || fw.Mobility() == nil ||
+		fw.Entropy() == nil || fw.Propagation() == nil || fw.Engine() == nil {
+		t.Fatal("trained framework has nil components")
+	}
+	if fw.Speed() != 5 {
+		t.Errorf("default speed %v, want 5 (paper)", fw.Speed())
+	}
+	if fw.Propagation().NumSets() == 0 {
+		t.Error("no RRR sets")
+	}
+	if fw.Mobility().NumWorkers() == 0 {
+		t.Error("no mobility models")
+	}
+	if fw.Entropy().Len() == 0 {
+		t.Error("empty entropy table")
+	}
+}
+
+func TestAssignAllAlgorithmsValid(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	ev := fw.Prepare(inst, influence.All, 1)
+	for _, alg := range assign.Algorithms {
+		set, m := fw.AssignPrepared(inst, ev, alg, nil)
+		if err := set.Validate(len(inst.Tasks), len(inst.Workers)); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if m.Assigned != set.Len() {
+			t.Errorf("%v: metrics.Assigned %d != set %d", alg, m.Assigned, set.Len())
+		}
+		if m.Assigned == 0 {
+			t.Errorf("%v assigned nothing", alg)
+		}
+		if m.CPU <= 0 {
+			t.Errorf("%v reported non-positive CPU time", alg)
+		}
+		if m.NumWorkers != 50 || m.NumTasks != 60 {
+			t.Errorf("%v instance dims recorded wrong: %d×%d", alg, m.NumWorkers, m.NumTasks)
+		}
+		if m.Algorithm != alg.String() {
+			t.Errorf("metrics algorithm %q", m.Algorithm)
+		}
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	set, m := fw.Assign(inst, assign.IA, 1)
+	if math.Abs(m.AI-set.AverageInfluence()) > 1e-12 {
+		t.Errorf("AI %v != set average %v", m.AI, set.AverageInfluence())
+	}
+	if math.Abs(m.TravelKm-set.AverageTravel()) > 1e-12 {
+		t.Errorf("TravelKm %v != set average %v", m.TravelKm, set.AverageTravel())
+	}
+	if m.AP < 0 {
+		t.Errorf("negative AP %v", m.AP)
+	}
+	if m.Feasible <= 0 {
+		t.Errorf("feasible pair count %d", m.Feasible)
+	}
+}
+
+func TestFlowAlgorithmsAgreeOnCardinality(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	ev := fw.Prepare(inst, influence.All, 1)
+	pairs := assign.FeasiblePairs(inst, fw.Speed())
+	_, mta := fw.AssignPrepared(inst, ev, assign.MTA, pairs)
+	for _, alg := range []assign.Algorithm{assign.IA, assign.EIA, assign.DIA} {
+		_, m := fw.AssignPrepared(inst, ev, alg, pairs)
+		if m.Assigned != mta.Assigned {
+			t.Errorf("%v assigned %d, MTA %d", alg, m.Assigned, mta.Assigned)
+		}
+	}
+}
+
+func TestQualitativeOrderingOnRealPipeline(t *testing.T) {
+	// The paper's empirical orderings on the fully trained pipeline,
+	// averaged over a few instances: AI(MI) ≥ AI(IA) ≥ AI(MTA) and
+	// AP(IA) ≥ AP(MTA); DIA has the smallest travel cost.
+	fw, data := testFramework(t)
+	sum := map[assign.Algorithm]*Metrics{}
+	for _, alg := range assign.Algorithms {
+		sum[alg] = &Metrics{}
+	}
+	for day := 6; day <= 7; day++ {
+		inst, err := data.Snapshot(dataset.SnapshotParams{
+			Day: day, NumTasks: 60, NumWorkers: 50, ValidHours: 5, RadiusKm: 25, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := fw.Prepare(inst, influence.All, uint64(day))
+		pairs := assign.FeasiblePairs(inst, fw.Speed())
+		for _, alg := range assign.Algorithms {
+			_, m := fw.AssignPrepared(inst, ev, alg, pairs)
+			sum[alg].AI += m.AI
+			sum[alg].AP += m.AP
+			sum[alg].TravelKm += m.TravelKm
+			sum[alg].Assigned += m.Assigned
+		}
+	}
+	if sum[assign.MI].AI < sum[assign.IA].AI {
+		t.Errorf("AI: MI %v below IA %v", sum[assign.MI].AI, sum[assign.IA].AI)
+	}
+	if sum[assign.IA].AI < sum[assign.MTA].AI {
+		t.Errorf("AI: IA %v below MTA %v", sum[assign.IA].AI, sum[assign.MTA].AI)
+	}
+	if sum[assign.MI].Assigned > sum[assign.MTA].Assigned {
+		t.Errorf("MI assigned %d more than MTA %d", sum[assign.MI].Assigned, sum[assign.MTA].Assigned)
+	}
+	if sum[assign.DIA].TravelKm > sum[assign.MTA].TravelKm {
+		t.Errorf("travel: DIA %v above MTA %v", sum[assign.DIA].TravelKm, sum[assign.MTA].TravelKm)
+	}
+}
+
+func TestAblationMasksChangeAssignments(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	pairs := assign.FeasiblePairs(inst, fw.Speed())
+	ais := map[influence.Components]float64{}
+	for _, mask := range []influence.Components{influence.All, influence.WP, influence.AP, influence.AW} {
+		ev := fw.Prepare(inst, mask, 1)
+		_, m := fw.AssignPrepared(inst, ev, assign.IA, pairs)
+		ais[mask] = m.AI
+		if m.Assigned == 0 {
+			t.Fatalf("mask %v assigned nothing", mask)
+		}
+	}
+	// The four variants should not all coincide (the factors matter).
+	if ais[influence.All] == ais[influence.WP] && ais[influence.All] == ais[influence.AP] &&
+		ais[influence.All] == ais[influence.AW] {
+		t.Errorf("all masks produced identical AI %v", ais[influence.All])
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	a, ma := fw.Assign(inst, assign.IA, 7)
+	b, mb := fw.Assign(inst, assign.IA, 7)
+	if a.Len() != b.Len() || ma.AI != mb.AI {
+		t.Fatalf("Assign nondeterministic: %d/%v vs %d/%v", a.Len(), ma.AI, b.Len(), mb.AI)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}

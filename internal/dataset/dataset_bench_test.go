@@ -1,0 +1,33 @@
+package dataset
+
+import "testing"
+
+// BenchmarkGenerate measures full dataset synthesis at preset scale.
+func BenchmarkGenerate(b *testing.B) {
+	p := BrightkiteLike()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i + 1)
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot measures one time-instance extraction at Table II
+// scale (|S|=1500, |W|=1200).
+func BenchmarkSnapshot(b *testing.B) {
+	d, err := Generate(BrightkiteLike())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := d.Snapshot(SnapshotParams{
+			Day: 25, NumTasks: 1500, NumWorkers: 1200,
+			ValidHours: 5, RadiusKm: 25, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"dita/internal/geo"
+	"dita/internal/model"
+	"dita/internal/randx"
+)
+
+// SnapshotParams selects the workers and tasks of one time instance, the
+// experimental knobs the paper sweeps (Table II).
+type SnapshotParams struct {
+	Day        int     // which simulated day the instance represents
+	NumTasks   int     // |S|
+	NumWorkers int     // |W|
+	ValidHours float64 // task valid time ϕ
+	RadiusKm   float64 // worker reachable radius r
+	Seed       uint64  // sampling seed; same seed → same instance
+}
+
+// Snapshot materializes one assignment instance for a day, following the
+// paper's simulation protocol: users who checked in that day are the
+// available workers (located at their most recent check-in) and the day's
+// check-in venues spawn the available tasks. When the day's activity is
+// smaller than the requested |W| or |S| the remainder is drawn at random
+// from the full dataset, matching the paper's "random selection from the
+// original dataset" used for its parameter sweeps.
+func (d *Data) Snapshot(sp SnapshotParams) (*model.Instance, error) {
+	if sp.Day < 0 || sp.Day >= d.Params.Days {
+		return nil, fmt.Errorf("dataset: day %d outside [0,%d)", sp.Day, d.Params.Days)
+	}
+	if sp.NumWorkers < 1 || sp.NumWorkers > d.Params.NumUsers {
+		return nil, fmt.Errorf("dataset: NumWorkers %d outside [1,%d]", sp.NumWorkers, d.Params.NumUsers)
+	}
+	if sp.NumTasks < 1 || sp.NumTasks > d.Params.NumVenues {
+		return nil, fmt.Errorf("dataset: NumTasks %d outside [1,%d]", sp.NumTasks, d.Params.NumVenues)
+	}
+	if sp.ValidHours <= 0 {
+		return nil, fmt.Errorf("dataset: ValidHours %v <= 0", sp.ValidHours)
+	}
+	if sp.RadiusKm <= 0 {
+		return nil, fmt.Errorf("dataset: RadiusKm %v <= 0", sp.RadiusKm)
+	}
+	rng := randx.New(sp.Seed ^ d.Params.Seed ^ (uint64(sp.Day+1) * 0x9e3779b97f4a7c15))
+	dayStart := float64(sp.Day) * 24
+	dayEnd := dayStart + 24
+
+	// Users active this day, in id order for determinism.
+	activeU := make([]int, 0, d.Params.NumUsers)
+	for u := range d.perUser {
+		idxs := d.perUser[u]
+		lo := sort.Search(len(idxs), func(i int) bool {
+			return d.CheckIns[idxs[i]].Arrive >= dayStart
+		})
+		if lo < len(idxs) && d.CheckIns[idxs[lo]].Arrive < dayEnd {
+			activeU = append(activeU, u)
+		}
+	}
+	users := sampleFill(activeU, d.Params.NumUsers, sp.NumWorkers, rng)
+
+	// Venues checked into this day.
+	activeVSet := make(map[model.VenueID]bool)
+	loCI := sort.Search(len(d.CheckIns), func(i int) bool { return d.CheckIns[i].Arrive >= dayStart })
+	for i := loCI; i < len(d.CheckIns) && d.CheckIns[i].Arrive < dayEnd; i++ {
+		activeVSet[d.CheckIns[i].Venue] = true
+	}
+	activeV := make([]int, 0, len(activeVSet))
+	for v := range activeVSet {
+		activeV = append(activeV, int(v))
+	}
+	sort.Ints(activeV)
+	venues := sampleFill(activeV, d.Params.NumVenues, sp.NumTasks, rng)
+
+	inst := &model.Instance{Now: dayStart}
+	inst.Workers = make([]model.Worker, len(users))
+	for i, u := range users {
+		inst.Workers[i] = model.Worker{
+			ID:     model.WorkerID(i),
+			User:   model.WorkerID(u),
+			Loc:    d.locationAt(u, dayStart),
+			Radius: sp.RadiusKm,
+		}
+	}
+	inst.Tasks = make([]model.Task, len(venues))
+	for j, v := range venues {
+		ven := d.Venues[v]
+		inst.Tasks[j] = model.Task{
+			ID:         model.TaskID(j),
+			Loc:        ven.Loc,
+			Publish:    dayStart,
+			Valid:      sp.ValidHours,
+			Categories: ven.Categories,
+			Venue:      ven.ID,
+		}
+	}
+	return inst, nil
+}
+
+// locationAt returns the user's most recent check-in location strictly
+// before t, falling back to the user's home when no check-in exists yet.
+// This realizes the paper's "locations are those of the most recent
+// check-ins" convention for worker positions.
+func (d *Data) locationAt(u int, t float64) geo.Point {
+	idxs := d.perUser[u]
+	lo := sort.Search(len(idxs), func(i int) bool {
+		return d.CheckIns[idxs[i]].Arrive >= t
+	})
+	if lo == 0 {
+		return d.Homes[u]
+	}
+	return d.CheckIns[idxs[lo-1]].Loc
+}
+
+// sampleFill draws want distinct items, preferring the preferred list
+// (shuffled) and topping up from [0, universe) when it runs short.
+func sampleFill(preferred []int, universe, want int, rng *randx.Rand) []int {
+	take := make([]int, 0, want)
+	seen := make(map[int]bool, want)
+	perm := rng.Perm(len(preferred))
+	for _, pi := range perm {
+		if len(take) == want {
+			return take
+		}
+		v := preferred[pi]
+		if !seen[v] {
+			seen[v] = true
+			take = append(take, v)
+		}
+	}
+	for len(take) < want {
+		v := rng.Intn(universe)
+		if !seen[v] {
+			seen[v] = true
+			take = append(take, v)
+		}
+	}
+	return take
+}

@@ -1,0 +1,67 @@
+// Package entropy computes location entropy (Section IV-B), the metric
+// the EIA algorithm uses to prioritize tasks whose visitor population is
+// concentrated in few workers:
+//
+//	s.e = − Σ_{w ∈ Ws} P_s(w) · ln P_s(w),   P_s(w) = Num_w / Num_s
+//
+// where Num_w counts worker w's historical visits to the task's location
+// and Num_s the total visits by all workers. Low entropy means few
+// workers ever visit the place, so EIA serves it first.
+package entropy
+
+import (
+	"math"
+
+	"dita/internal/model"
+)
+
+// Table maps venues to their location entropy. Venues that were never
+// visited are absent; Lookup treats them as zero entropy (the most
+// urgent possible value — nobody visits them at all).
+type Table struct {
+	byVenue map[model.VenueID]float64
+}
+
+// Compute builds the entropy table from historical check-in records.
+func Compute(records []model.CheckIn) *Table {
+	visits := make(map[model.VenueID]map[model.WorkerID]float64)
+	totals := make(map[model.VenueID]float64)
+	for _, r := range records {
+		m := visits[r.Venue]
+		if m == nil {
+			m = make(map[model.WorkerID]float64)
+			visits[r.Venue] = m
+		}
+		m[r.User]++
+		totals[r.Venue]++
+	}
+	t := &Table{byVenue: make(map[model.VenueID]float64, len(visits))}
+	for venue, perWorker := range visits {
+		total := totals[venue]
+		e := 0.0
+		for _, n := range perWorker {
+			p := n / total
+			e -= p * math.Log(p)
+		}
+		t.byVenue[venue] = e
+	}
+	return t
+}
+
+// Lookup returns the location entropy of a venue, zero when unknown.
+func (t *Table) Lookup(v model.VenueID) float64 { return t.byVenue[v] }
+
+// Len returns the number of venues with recorded visits.
+func (t *Table) Len() int { return len(t.byVenue) }
+
+// Max returns the largest entropy in the table (zero when empty); the
+// harness prints it to characterize datasets.
+func (t *Table) Max() float64 {
+	max := 0.0
+	for _, e := range t.byVenue {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}

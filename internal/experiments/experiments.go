@@ -1,0 +1,432 @@
+// Package experiments reproduces the paper's evaluation (Section V): the
+// parameter sweeps behind Figures 5–16 on the two simulated datasets,
+// with the Table-II defaults. Each sweep produces a Result whose rows are
+// exactly the series a figure plots; the Format methods print them as
+// aligned tables and CSV.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/influence"
+	"dita/internal/model"
+)
+
+// Params carries the experimental defaults of Table II plus the
+// evaluation protocol (which days to average over).
+type Params struct {
+	NumTasks   int     // |S| default 1500
+	NumWorkers int     // |W| default 1200
+	ValidHours float64 // ϕ default 5 h
+	RadiusKm   float64 // r default 25 km
+	Days       []int   // evaluation days (paper: 4 days of a month)
+	Seed       uint64
+}
+
+// Default returns the paper's Table II settings, evaluated over the last
+// four days of the simulated month (training uses everything before the
+// first evaluation day).
+func Default() Params {
+	return Params{
+		NumTasks:   1500,
+		NumWorkers: 1200,
+		ValidHours: 5,
+		RadiusKm:   25,
+		Days:       []int{25, 26, 27, 28},
+		Seed:       42,
+	}
+}
+
+// Quick returns a reduced protocol for tests and smoke runs: smaller
+// instances, two evaluation days.
+func Quick() Params {
+	return Params{
+		NumTasks:   300,
+		NumWorkers: 240,
+		ValidHours: 5,
+		RadiusKm:   25,
+		Days:       []int{25, 26},
+		Seed:       42,
+	}
+}
+
+// Sweep values used by the paper's figures.
+var (
+	TaskSweep      = []int{500, 1000, 1500, 2000, 2500}
+	WorkerSweep    = []int{400, 800, 1200, 1600, 2000}
+	ValidTimeSweep = []float64{1, 2, 3, 4, 5, 6}
+	RadiusSweep    = []float64{5, 10, 15, 20, 25}
+)
+
+// Row is one (x, algorithm) cell of a figure: every metric the paper
+// plots for that combination, averaged over the evaluation days.
+type Row struct {
+	X        float64
+	Alg      string
+	CPUms    float64
+	Assigned float64
+	AI       float64
+	AP       float64
+	TravelKm float64
+}
+
+// Metric selects one of the five reported measurements.
+type Metric string
+
+// The five metrics of Figures 9–16 (Figures 5–8 plot AI only).
+const (
+	MetricCPU      Metric = "CPU(ms)"
+	MetricAssigned Metric = "Assigned"
+	MetricAI       Metric = "AI"
+	MetricAP       Metric = "AP"
+	MetricTravel   Metric = "Travel(km)"
+)
+
+// AllMetrics lists the metrics in the order the paper's sub-figures use.
+var AllMetrics = []Metric{MetricCPU, MetricAssigned, MetricAI, MetricAP, MetricTravel}
+
+func (r Row) metric(m Metric) float64 {
+	switch m {
+	case MetricCPU:
+		return r.CPUms
+	case MetricAssigned:
+		return r.Assigned
+	case MetricAI:
+		return r.AI
+	case MetricAP:
+		return r.AP
+	case MetricTravel:
+		return r.TravelKm
+	default:
+		return 0
+	}
+}
+
+// Result is one full sweep: the data behind one figure (all sub-plots).
+type Result struct {
+	Figure  string // e.g. "Fig. 9"
+	Dataset string // "BK" or "FS"
+	XLabel  string // e.g. "|S|"
+	Rows    []Row
+}
+
+// Algorithms returns the distinct algorithm names in first-seen order.
+func (r *Result) Algorithms() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if !seen[row.Alg] {
+			seen[row.Alg] = true
+			out = append(out, row.Alg)
+		}
+	}
+	return out
+}
+
+// Xs returns the sorted distinct sweep values.
+func (r *Result) Xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, row := range r.Rows {
+		if !seen[row.X] {
+			seen[row.X] = true
+			out = append(out, row.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Value returns the metric for (x, alg), and whether it exists.
+func (r *Result) Value(x float64, alg string, m Metric) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.X == x && row.Alg == alg {
+			return row.metric(m), true
+		}
+	}
+	return 0, false
+}
+
+// FormatTable writes one metric of the result as an aligned text table —
+// the same rows/series the corresponding sub-figure plots.
+func (r *Result) FormatTable(w io.Writer, m Metric) {
+	algs := r.Algorithms()
+	fmt.Fprintf(w, "%s %s on %s — %s vs %s\n", r.Figure, m, r.Dataset, m, r.XLabel)
+	fmt.Fprintf(w, "%10s", r.XLabel)
+	for _, a := range algs {
+		fmt.Fprintf(w, "%12s", a)
+	}
+	fmt.Fprintln(w)
+	for _, x := range r.Xs() {
+		fmt.Fprintf(w, "%10g", x)
+		for _, a := range algs {
+			v, ok := r.Value(x, a, m)
+			if !ok {
+				fmt.Fprintf(w, "%12s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%12.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FormatAll writes every metric's table.
+func (r *Result) FormatAll(w io.Writer, metrics []Metric) {
+	for _, m := range metrics {
+		r.FormatTable(w, m)
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits the raw rows as CSV (header + one line per Row).
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,dataset,xlabel,x,alg,cpu_ms,assigned,ai,ap,travel_km"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%s,%.6f,%.2f,%.6f,%.6f,%.6f\n",
+			csvEscape(r.Figure), r.Dataset, csvEscape(r.XLabel),
+			row.X, row.Alg, row.CPUms, row.Assigned, row.AI, row.AP, row.TravelKm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string { return strings.ReplaceAll(s, ",", ";") }
+
+// Runner binds a dataset to a trained framework and executes sweeps.
+type Runner struct {
+	Data *dataset.Data
+	FW   *core.Framework
+	P    Params
+}
+
+// NewRunner trains a DITA framework on everything before the first
+// evaluation day and returns a runner ready to execute sweeps.
+func NewRunner(data *dataset.Data, cfg core.Config, p Params) (*Runner, error) {
+	if len(p.Days) == 0 {
+		return nil, fmt.Errorf("experiments: no evaluation days")
+	}
+	minDay := p.Days[0]
+	for _, d := range p.Days {
+		if d < minDay {
+			minDay = d
+		}
+	}
+	cutoff := float64(minDay) * 24
+	docs, vocab := data.Documents(cutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training: %w", err)
+	}
+	return &Runner{Data: data, FW: fw, P: p}, nil
+}
+
+// snapshot builds the instance for one day under possibly overridden
+// sweep parameters.
+func (r *Runner) snapshot(day, numTasks, numWorkers int, valid, radius float64) (*model.Instance, error) {
+	return r.Data.Snapshot(dataset.SnapshotParams{
+		Day:        day,
+		NumTasks:   numTasks,
+		NumWorkers: numWorkers,
+		ValidHours: valid,
+		RadiusKm:   radius,
+		Seed:       r.P.Seed,
+	})
+}
+
+type accum struct {
+	cpuMs, assigned, ai, ap, travel float64
+	n                               int
+}
+
+func (a *accum) add(m core.Metrics) {
+	a.cpuMs += float64(m.CPU.Microseconds()) / 1000
+	a.assigned += float64(m.Assigned)
+	a.ai += m.AI
+	a.ap += m.AP
+	a.travel += m.TravelKm
+	a.n++
+}
+
+func (a *accum) row(x float64, alg string) Row {
+	n := float64(a.n)
+	if n == 0 {
+		n = 1
+	}
+	return Row{
+		X: x, Alg: alg,
+		CPUms:    a.cpuMs / n,
+		Assigned: a.assigned / n,
+		AI:       a.ai / n,
+		AP:       a.ap / n,
+		TravelKm: a.travel / n,
+	}
+}
+
+// runComparison executes the five algorithms for each sweep value and
+// averages the metrics over the evaluation days; this backs Figures 9–16.
+func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+	res := &Result{Figure: figure, Dataset: r.Data.Params.Name, XLabel: xlabel}
+	for _, x := range xs {
+		accums := make(map[assign.Algorithm]*accum, len(assign.Algorithms))
+		for _, alg := range assign.Algorithms {
+			accums[alg] = &accum{}
+		}
+		for _, day := range r.P.Days {
+			inst, err := makeInst(day, x)
+			if err != nil {
+				return nil, err
+			}
+			ev := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+			pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+			for _, alg := range assign.Algorithms {
+				_, m := r.FW.AssignPrepared(inst, ev, alg, pairs)
+				accums[alg].add(m)
+			}
+		}
+		for _, alg := range assign.Algorithms {
+			res.Rows = append(res.Rows, accums[alg].row(x, alg.String()))
+		}
+	}
+	return res, nil
+}
+
+// runAblation executes the IA algorithm under the four component masks
+// (IA, IA-WP, IA-AP, IA-AW) for each sweep value; this backs Figures 5–8.
+//
+// Each variant ASSIGNS with its masked influence model, but — as in the
+// paper, where AI (Equation 6) is defined once over the full worker-task
+// influence of Section III-D — every resulting assignment is SCORED with
+// the full model. The masks therefore change the assignment, and the
+// reported AI measures how much worker-task influence that assignment
+// actually realizes.
+func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+	masks := []influence.Components{influence.All, influence.WP, influence.AP, influence.AW}
+	res := &Result{Figure: figure, Dataset: r.Data.Params.Name, XLabel: xlabel}
+	for _, x := range xs {
+		accums := make(map[influence.Components]*accum, len(masks))
+		for _, mk := range masks {
+			accums[mk] = &accum{}
+		}
+		for _, day := range r.P.Days {
+			inst, err := makeInst(day, x)
+			if err != nil {
+				return nil, err
+			}
+			pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+			evFull := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+			for _, mk := range masks {
+				ev := evFull
+				if mk != influence.All {
+					ev = r.FW.Prepare(inst, mk, r.P.Seed+uint64(day))
+				}
+				set, m := r.FW.AssignPrepared(inst, ev, assign.IA, pairs)
+				// Rescore the realized assignment under the full model.
+				if set.Len() > 0 {
+					sum := 0.0
+					for _, pr := range set.Pairs {
+						sum += evFull.Influence(int(pr.Worker), int(pr.Task))
+					}
+					m.AI = sum / float64(set.Len())
+				}
+				accums[mk].add(m)
+			}
+		}
+		for _, mk := range masks {
+			res.Rows = append(res.Rows, accums[mk].row(x, mk.String()))
+		}
+	}
+	return res, nil
+}
+
+// Figure numbering follows the paper: ablations are Fig. 5–8; algorithm
+// comparisons are Fig. 9/10 (|S|), 11/12 (|W|), 13/14 (ϕ), 15/16 (r),
+// with the odd number on BK and the even on FS. The dataset half of the
+// numbering comes from the runner's dataset.
+
+// AblationTasks reproduces Fig. 5 (effect of |S| on AI for IA variants).
+func (r *Runner) AblationTasks(xs []int) (*Result, error) {
+	return r.runAblation("Fig. 5", "|S|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, int(x), r.P.NumWorkers, r.P.ValidHours, r.P.RadiusKm)
+	})
+}
+
+// AblationWorkers reproduces Fig. 6 (effect of |W|).
+func (r *Runner) AblationWorkers(xs []int) (*Result, error) {
+	return r.runAblation("Fig. 6", "|W|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, int(x), r.P.ValidHours, r.P.RadiusKm)
+	})
+}
+
+// AblationValidTime reproduces Fig. 7 (effect of ϕ).
+func (r *Runner) AblationValidTime(xs []float64) (*Result, error) {
+	return r.runAblation("Fig. 7", "phi(h)", xs, func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, x, r.P.RadiusKm)
+	})
+}
+
+// AblationRadius reproduces Fig. 8 (effect of r).
+func (r *Runner) AblationRadius(xs []float64) (*Result, error) {
+	return r.runAblation("Fig. 8", "r(km)", xs, func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, r.P.ValidHours, x)
+	})
+}
+
+// CompareTasks reproduces Fig. 9 (BK) / Fig. 10 (FS): effect of |S| on
+// the five algorithms across all five metrics.
+func (r *Runner) CompareTasks(xs []int) (*Result, error) {
+	return r.runComparison(r.figNum(9, 10), "|S|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, int(x), r.P.NumWorkers, r.P.ValidHours, r.P.RadiusKm)
+	})
+}
+
+// CompareWorkers reproduces Fig. 11 (BK) / Fig. 12 (FS).
+func (r *Runner) CompareWorkers(xs []int) (*Result, error) {
+	return r.runComparison(r.figNum(11, 12), "|W|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, int(x), r.P.ValidHours, r.P.RadiusKm)
+	})
+}
+
+// CompareValidTime reproduces Fig. 13 (BK) / Fig. 14 (FS).
+func (r *Runner) CompareValidTime(xs []float64) (*Result, error) {
+	return r.runComparison(r.figNum(13, 14), "phi(h)", xs, func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, x, r.P.RadiusKm)
+	})
+}
+
+// CompareRadius reproduces Fig. 15 (BK) / Fig. 16 (FS).
+func (r *Runner) CompareRadius(xs []float64) (*Result, error) {
+	return r.runComparison(r.figNum(15, 16), "r(km)", xs, func(day int, x float64) (*model.Instance, error) {
+		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, r.P.ValidHours, x)
+	})
+}
+
+func (r *Runner) figNum(bk, fs int) string {
+	if r.Data.Params.Name == "FS" {
+		return fmt.Sprintf("Fig. %d", fs)
+	}
+	return fmt.Sprintf("Fig. %d", bk)
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/lda"
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 200
+	p.NumVenues = 260
+	p.Days = 8
+	p.Seed = 5
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{
+		NumTasks:   60,
+		NumWorkers: 50,
+		ValidHours: 5,
+		RadiusKm:   25,
+		Days:       []int{6, 7},
+		Seed:       3,
+	}
+	r, err := NewRunner(data, core.Config{LDA: lda.Config{Topics: 10, TrainIters: 30}}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDefaultParamsMatchTableII(t *testing.T) {
+	p := Default()
+	if p.NumTasks != 1500 {
+		t.Errorf("|S| default %d, want 1500", p.NumTasks)
+	}
+	if p.NumWorkers != 1200 {
+		t.Errorf("|W| default %d, want 1200", p.NumWorkers)
+	}
+	if p.ValidHours != 5 {
+		t.Errorf("ϕ default %v, want 5", p.ValidHours)
+	}
+	if p.RadiusKm != 25 {
+		t.Errorf("r default %v, want 25", p.RadiusKm)
+	}
+	if len(p.Days) != 4 {
+		t.Errorf("evaluation days %d, want 4 (paper averages over 4 days)", len(p.Days))
+	}
+}
+
+func TestSweepValuesMatchPaper(t *testing.T) {
+	wantTasks := []int{500, 1000, 1500, 2000, 2500}
+	for i, v := range wantTasks {
+		if TaskSweep[i] != v {
+			t.Fatalf("TaskSweep = %v, want %v", TaskSweep, wantTasks)
+		}
+	}
+	wantWorkers := []int{400, 800, 1200, 1600, 2000}
+	for i, v := range wantWorkers {
+		if WorkerSweep[i] != v {
+			t.Fatalf("WorkerSweep = %v", WorkerSweep)
+		}
+	}
+	if len(ValidTimeSweep) != 6 || ValidTimeSweep[0] != 1 || ValidTimeSweep[5] != 6 {
+		t.Errorf("ValidTimeSweep = %v", ValidTimeSweep)
+	}
+	if len(RadiusSweep) != 5 || RadiusSweep[0] != 5 || RadiusSweep[4] != 25 {
+		t.Errorf("RadiusSweep = %v", RadiusSweep)
+	}
+}
+
+func TestComparisonSweepShape(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.CompareTasks([]int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figure != "Fig. 9" || res.Dataset != "BK" || res.XLabel != "|S|" {
+		t.Errorf("labels: %q %q %q", res.Figure, res.Dataset, res.XLabel)
+	}
+	algs := res.Algorithms()
+	if len(algs) != 5 {
+		t.Fatalf("algorithms %v, want 5", algs)
+	}
+	xs := res.Xs()
+	if len(xs) != 2 || xs[0] != 30 || xs[1] != 60 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows %d, want 10 (2 sweep points × 5 algorithms)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Assigned <= 0 {
+			t.Errorf("row %+v has no assignments", row)
+		}
+		if row.CPUms < 0 || row.AI < 0 || row.AP < 0 || row.TravelKm < 0 {
+			t.Errorf("row %+v has negative metrics", row)
+		}
+	}
+	// More tasks with fixed workers → number assigned must not shrink.
+	for _, alg := range algs {
+		a30, _ := res.Value(30, alg, MetricAssigned)
+		a60, _ := res.Value(60, alg, MetricAssigned)
+		if a60+1e-9 < a30 {
+			t.Errorf("%s: assigned fell from %v to %v as |S| grew", alg, a30, a60)
+		}
+	}
+}
+
+func TestAblationSweepShape(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Figure != "Fig. 5" {
+		t.Errorf("figure %q", res.Figure)
+	}
+	algs := res.Algorithms()
+	want := []string{"IA", "IA-WP", "IA-AP", "IA-AW"}
+	if len(algs) != 4 {
+		t.Fatalf("variants %v", algs)
+	}
+	for i, w := range want {
+		if algs[i] != w {
+			t.Fatalf("variants %v, want %v", algs, want)
+		}
+	}
+	// All variants achieve the same (maximum) cardinality: they differ
+	// only in edge costs.
+	first, _ := res.Value(40, "IA", MetricAssigned)
+	for _, a := range algs[1:] {
+		v, _ := res.Value(40, a, MetricAssigned)
+		if v != first {
+			t.Errorf("%s assigned %v, IA %v — cardinality must match", a, v, first)
+		}
+	}
+}
+
+func TestRadiusSweepGrowsAssignments(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.CompareRadius([]float64{5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range res.Algorithms() {
+		small, _ := res.Value(5, alg, MetricAssigned)
+		large, _ := res.Value(25, alg, MetricAssigned)
+		if large < small {
+			t.Errorf("%s: assignments fell from %v to %v as r grew", alg, small, large)
+		}
+	}
+}
+
+func TestValidTimeSweepGrowsAssignments(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.CompareValidTime([]float64{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range res.Algorithms() {
+		short, _ := res.Value(1, alg, MetricAssigned)
+		long, _ := res.Value(6, alg, MetricAssigned)
+		if long < short {
+			t.Errorf("%s: assignments fell from %v to %v as ϕ grew", alg, short, long)
+		}
+	}
+}
+
+func TestWorkerSweepGrowsAssignments(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.CompareWorkers([]int{20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range res.Algorithms() {
+		few, _ := res.Value(20, alg, MetricAssigned)
+		many, _ := res.Value(50, alg, MetricAssigned)
+		if many < few {
+			t.Errorf("%s: assignments fell from %v to %v as |W| grew", alg, few, many)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.CompareTasks([]int{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.FormatTable(&buf, MetricAI)
+	out := buf.String()
+	for _, token := range []string{"Fig. 9", "AI", "BK", "|S|", "MTA", "IA", "EIA", "DIA", "MI", "30"} {
+		if !strings.Contains(out, token) {
+			t.Errorf("table output missing %q:\n%s", token, out)
+		}
+	}
+	var all bytes.Buffer
+	res.FormatAll(&all, AllMetrics)
+	for _, m := range AllMetrics {
+		if !strings.Contains(all.String(), string(m)) {
+			t.Errorf("FormatAll missing metric %s", m)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+4 { // header + 4 variants × 1 sweep point
+		t.Fatalf("CSV lines %d, want 5:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure,dataset,xlabel,x,alg") {
+		t.Errorf("CSV header: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 9 {
+			t.Errorf("CSV row has %d commas, want 9: %s", got, l)
+		}
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 60
+	p.NumVenues = 60
+	p.Days = 4
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(data, core.Config{}, Params{}); err == nil {
+		t.Error("runner accepted empty evaluation days")
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	a := testRunner(t)
+	b := testRunner(t)
+	ra, err := a.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.Rows {
+		x, y := ra.Rows[i], rb.Rows[i]
+		// CPU differs between runs; everything else must match exactly.
+		if x.Alg != y.Alg || x.X != y.X || x.Assigned != y.Assigned || x.AI != y.AI ||
+			x.AP != y.AP || x.TravelKm != y.TravelKm {
+			t.Fatalf("row %d differs:\n%+v\n%+v", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"dita/internal/randx"
+)
+
+// TestSPFAMatchesDijkstraMCMF cross-checks the two MCMF implementations
+// on random bipartite assignment graphs: identical flow values and
+// identical optimal costs (the chosen assignments may differ when
+// several optima exist).
+func TestSPFAMatchesDijkstraMCMF(t *testing.T) {
+	rng := randx.New(51)
+	for trial := 0; trial < 30; trial++ {
+		nL, nR := 3+rng.Intn(8), 3+rng.Intn(8)
+		type e struct {
+			l, r int
+			w    float64
+		}
+		var edges []e
+		for l := 0; l < nL; l++ {
+			for r := 0; r < nR; r++ {
+				if rng.Bool(0.45) {
+					edges = append(edges, e{l, r, 0.05 + 0.95*rng.Float64()})
+				}
+			}
+		}
+		build := func() (*Network, int, int) {
+			g := NewNetwork(nL + nR + 2)
+			s, tt := 0, nL+nR+1
+			for l := 0; l < nL; l++ {
+				g.AddEdge(s, 1+l, 1, 0)
+			}
+			for r := 0; r < nR; r++ {
+				g.AddEdge(1+nL+r, tt, 1, 0)
+			}
+			for _, ed := range edges {
+				g.AddEdge(1+ed.l, 1+nL+ed.r, 1, ed.w)
+			}
+			return g, s, tt
+		}
+		g1, s, tt := build()
+		f1, c1 := g1.MinCostMaxFlow(s, tt)
+		g2, _, _ := build()
+		f2, c2 := g2.MinCostMaxFlowSPFA(s, tt)
+		if f1 != f2 {
+			t.Fatalf("trial %d: flow %d (Dijkstra) vs %d (SPFA)", trial, f1, f2)
+		}
+		if math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("trial %d: cost %v (Dijkstra) vs %v (SPFA)", trial, c1, c2)
+		}
+	}
+}
+
+// TestSPFAOnGeneralNetworks extends the cross-check to non-bipartite
+// random networks with capacities above 1.
+func TestSPFAOnGeneralNetworks(t *testing.T) {
+	rng := randx.New(53)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(6)
+		type e struct {
+			u, v, c int
+			w       float64
+		}
+		var edges []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Bool(0.3) {
+					edges = append(edges, e{u, v, 1 + rng.Intn(3), rng.Float64()})
+				}
+			}
+		}
+		build := func() *Network {
+			g := NewNetwork(n)
+			for _, ed := range edges {
+				g.AddEdge(ed.u, ed.v, ed.c, ed.w)
+			}
+			return g
+		}
+		f1, c1 := build().MinCostMaxFlow(0, n-1)
+		f2, c2 := build().MinCostMaxFlowSPFA(0, n-1)
+		if f1 != f2 || math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("trial %d: (%d, %v) vs (%d, %v)", trial, f1, c1, f2, c2)
+		}
+	}
+}
+
+func TestSPFASourceEqualsSink(t *testing.T) {
+	g := NewNetwork(2)
+	g.AddEdge(0, 1, 1, 0.5)
+	if f, c := g.MinCostMaxFlowSPFA(0, 0); f != 0 || c != 0 {
+		t.Errorf("s==t: flow %d cost %v", f, c)
+	}
+}

@@ -1,0 +1,145 @@
+// Package ic implements the Independent Cascade (IC) propagation model
+// the paper uses to simulate how task information spreads through the
+// social network (Section III-C1).
+//
+// In IC a newly informed worker gets exactly one chance to inform each
+// out-neighbor independently; the edge (u, v) succeeds with the paper's
+// in-degree-based probability 1/indeg(v). The forward Monte Carlo
+// estimators here serve two purposes: they are the ground truth the
+// RRR-based RPO estimator is validated against in tests, and they back
+// the propagation example program.
+package ic
+
+import (
+	"dita/internal/randx"
+	"dita/internal/socialgraph"
+)
+
+// Model binds a social graph to an edge-probability function.
+type Model struct {
+	G *socialgraph.Graph
+	// Prob returns the probability that u informs v given the edge (u,v)
+	// exists. When nil, the paper's default 1/indeg(v) is used.
+	Prob func(u, v int32) float64
+}
+
+// NewModel returns an IC model over g with the paper's default in-degree
+// edge probabilities.
+func NewModel(g *socialgraph.Graph) *Model {
+	return &Model{G: g}
+}
+
+func (m *Model) prob(u, v int32) float64 {
+	if m.Prob != nil {
+		return m.Prob(u, v)
+	}
+	return m.G.InformProb(u, v)
+}
+
+// Simulate runs one IC diffusion from the seed set and returns the set of
+// informed workers as a boolean slice of length G.N(). Seeds are informed
+// at iteration zero; propagation proceeds in rounds until no new worker is
+// informed, exactly as Section III-C1 describes.
+func (m *Model) Simulate(seeds []int32, rng *randx.Rand) []bool {
+	informed := make([]bool, m.G.N())
+	frontier := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if !informed[s] {
+			informed[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	var next []int32
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range m.G.Out(u) {
+				if informed[v] {
+					continue
+				}
+				if rng.Bool(m.prob(u, v)) {
+					informed[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return informed
+}
+
+// SimulateTrace runs one diffusion and returns, for every worker, the
+// iteration at which it was informed (-1 if never). Seeds have iteration
+// 0. Useful for inspecting propagation depth.
+func (m *Model) SimulateTrace(seeds []int32, rng *randx.Rand) []int32 {
+	round := make([]int32, m.G.N())
+	for i := range round {
+		round[i] = -1
+	}
+	frontier := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if round[s] < 0 {
+			round[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	var next []int32
+	for r := int32(1); len(frontier) > 0; r++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range m.G.Out(u) {
+				if round[v] >= 0 {
+					continue
+				}
+				if rng.Bool(m.prob(u, v)) {
+					round[v] = r
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return round
+}
+
+// Spread estimates the expected number of informed workers (including the
+// seeds) over the given number of Monte Carlo trials.
+func (m *Model) Spread(seeds []int32, trials int, rng *randx.Rand) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	total := 0
+	for t := 0; t < trials; t++ {
+		informed := m.Simulate(seeds, rng)
+		for _, b := range informed {
+			if b {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(trials)
+}
+
+// InformedProb estimates, for every worker, the probability of being
+// informed when src starts the cascade, averaged over the given number of
+// Monte Carlo trials. This is the ground-truth counterpart of the RPO
+// estimator in internal/rrr.
+func (m *Model) InformedProb(src int32, trials int, rng *randx.Rand) []float64 {
+	counts := make([]int, m.G.N())
+	for t := 0; t < trials; t++ {
+		informed := m.Simulate([]int32{src}, rng)
+		for i, b := range informed {
+			if b {
+				counts[i]++
+			}
+		}
+	}
+	probs := make([]float64, m.G.N())
+	if trials == 0 {
+		return probs
+	}
+	for i, c := range counts {
+		probs[i] = float64(c) / float64(trials)
+	}
+	return probs
+}

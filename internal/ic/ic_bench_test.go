@@ -1,0 +1,32 @@
+package ic
+
+import (
+	"testing"
+
+	"dita/internal/randx"
+	"dita/internal/socialgraph"
+)
+
+// BenchmarkSimulate measures one IC cascade on a paper-scale graph —
+// the Monte Carlo unit the RRR approach amortizes away.
+func BenchmarkSimulate(b *testing.B) {
+	g := socialgraph.GeneratePreferentialAttachment(2400, 3, randx.New(1))
+	m := NewModel(g)
+	rng := randx.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Simulate([]int32{int32(i % g.N())}, rng)
+	}
+}
+
+// BenchmarkInformedProb measures the brute-force estimator RPO replaces
+// (1000 trials for one source).
+func BenchmarkInformedProb(b *testing.B) {
+	g := socialgraph.GeneratePreferentialAttachment(600, 3, randx.New(1))
+	m := NewModel(g)
+	rng := randx.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InformedProb(int32(i%g.N()), 1000, rng)
+	}
+}

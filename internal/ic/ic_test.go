@@ -1,0 +1,136 @@
+package ic
+
+import (
+	"math"
+	"testing"
+
+	"dita/internal/randx"
+	"dita/internal/socialgraph"
+)
+
+func TestSimulateSeedsAlwaysInformed(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(50, 2, randx.New(1))
+	m := NewModel(g)
+	rng := randx.New(2)
+	for trial := 0; trial < 20; trial++ {
+		seeds := []int32{int32(trial % 50), int32((trial * 7) % 50)}
+		informed := m.Simulate(seeds, rng)
+		for _, s := range seeds {
+			if !informed[s] {
+				t.Fatalf("seed %d not informed", s)
+			}
+		}
+	}
+}
+
+func TestSimulateRespectsTopology(t *testing.T) {
+	// 0→1→2 and isolated 3: node 3 can never be informed from 0.
+	g := socialgraph.MustNew(4, []socialgraph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	m := NewModel(g)
+	rng := randx.New(3)
+	for trial := 0; trial < 200; trial++ {
+		informed := m.Simulate([]int32{0}, rng)
+		if informed[3] {
+			t.Fatal("unreachable node informed")
+		}
+	}
+}
+
+func TestSimulateDeterministicEdges(t *testing.T) {
+	// Chain with in-degree 1 everywhere → probability 1 per edge → the
+	// cascade always reaches the end.
+	g := socialgraph.MustNew(5, []socialgraph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4},
+	})
+	m := NewModel(g)
+	rng := randx.New(4)
+	informed := m.Simulate([]int32{0}, rng)
+	for i, b := range informed {
+		if !b {
+			t.Fatalf("node %d not informed on deterministic chain", i)
+		}
+	}
+}
+
+func TestSimulateTraceRounds(t *testing.T) {
+	g := socialgraph.MustNew(4, []socialgraph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3},
+	})
+	m := NewModel(g)
+	round := m.SimulateTrace([]int32{0}, randx.New(5))
+	want := []int32{0, 1, 2, 3}
+	for i, w := range want {
+		if round[i] != w {
+			t.Errorf("round[%d] = %d, want %d", i, round[i], w)
+		}
+	}
+}
+
+func TestCustomProbability(t *testing.T) {
+	g := socialgraph.MustNew(2, []socialgraph.Edge{{From: 0, To: 1}})
+	m := &Model{G: g, Prob: func(u, v int32) float64 { return 0 }}
+	informed := m.Simulate([]int32{0}, randx.New(6))
+	if informed[1] {
+		t.Error("edge with probability 0 propagated")
+	}
+	m.Prob = func(u, v int32) float64 { return 1 }
+	informed = m.Simulate([]int32{0}, randx.New(6))
+	if !informed[1] {
+		t.Error("edge with probability 1 did not propagate")
+	}
+}
+
+func TestInformedProbTwoHopAnalytic(t *testing.T) {
+	// 0→1→2, all in-degrees 1, so every edge fires with probability 1:
+	// P(1 informed) = P(2 informed) = 1. Then add a second in-edge to 2
+	// (3→2): in-degree 2 halves the edge probability, so from seed 0,
+	// P(2) = 1/2.
+	g := socialgraph.MustNew(4, []socialgraph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 3, To: 2},
+	})
+	m := NewModel(g)
+	probs := m.InformedProb(0, 40000, randx.New(7))
+	if math.Abs(probs[1]-1) > 1e-9 {
+		t.Errorf("P(1) = %v, want 1", probs[1])
+	}
+	if math.Abs(probs[2]-0.5) > 0.02 {
+		t.Errorf("P(2) = %v, want ~0.5", probs[2])
+	}
+	if probs[3] != 0 {
+		t.Errorf("P(3) = %v, want 0", probs[3])
+	}
+}
+
+func TestInformedProbDiamondAnalytic(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3. in-degree(1)=in-degree(2)=1 → always
+	// informed. in-degree(3)=2 → each incoming edge fires with prob 1/2,
+	// so P(3) = 1 − (1/2)² = 3/4.
+	g := socialgraph.MustNew(4, []socialgraph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3},
+	})
+	m := NewModel(g)
+	probs := m.InformedProb(0, 60000, randx.New(8))
+	if math.Abs(probs[3]-0.75) > 0.02 {
+		t.Errorf("P(3) = %v, want ~0.75", probs[3])
+	}
+}
+
+func TestSpreadMonotoneInSeeds(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(100, 2, randx.New(9))
+	m := NewModel(g)
+	s1 := m.Spread([]int32{0}, 400, randx.New(10))
+	s2 := m.Spread([]int32{0, 1, 2, 3, 4}, 400, randx.New(10))
+	if s2 < s1 {
+		t.Errorf("spread with 5 seeds (%v) below spread with 1 seed (%v)", s2, s1)
+	}
+	if s1 < 1 {
+		t.Errorf("spread below seed count: %v", s1)
+	}
+}
+
+func TestSpreadZeroTrials(t *testing.T) {
+	g := socialgraph.MustNew(2, []socialgraph.Edge{{From: 0, To: 1}})
+	if got := NewModel(g).Spread([]int32{0}, 0, randx.New(1)); got != 0 {
+		t.Errorf("Spread with 0 trials = %v", got)
+	}
+}

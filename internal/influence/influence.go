@@ -1,0 +1,343 @@
+// Package influence combines the three modeled factors — worker-task
+// affinity (LDA), worker willingness (Historical Acceptance) and worker
+// propagation (RPO over RRR sets) — into the paper's worker-task
+// influence (Section III-D):
+//
+//	if(ws, s) = Paff(ws, s) · Σ_{wi ∈ W\{ws}} Pwil(wi, s) · Ppro(ws, wi)
+//
+// where W is the whole worker set of the social network, not only the
+// workers online at the instance.
+//
+// The package also implements the component masks behind the paper's
+// ablation variants (Fig. 5–8): IA-WP drops affinity, IA-AP drops
+// willingness and IA-AW drops propagation; a dropped factor is replaced
+// by the neutral constant 1.
+package influence
+
+import (
+	"sort"
+
+	"dita/internal/lda"
+	"dita/internal/mobility"
+	"dita/internal/model"
+	"dita/internal/rrr"
+)
+
+// Components selects which factors participate in the influence product.
+type Components uint8
+
+// Component bits. All enables the full model (the IA algorithm);
+// the three two-factor masks are the paper's ablations.
+const (
+	Affinity Components = 1 << iota
+	Willingness
+	Propagation
+
+	All = Affinity | Willingness | Propagation
+	// WP is the IA-WP variant: willingness + propagation, no affinity.
+	WP = Willingness | Propagation
+	// AP is the IA-AP variant: affinity + propagation, no willingness.
+	AP = Affinity | Propagation
+	// AW is the IA-AW variant: affinity + willingness, no propagation.
+	AW = Affinity | Willingness
+)
+
+// String names the mask the way the paper does.
+func (c Components) String() string {
+	switch c {
+	case All:
+		return "IA"
+	case WP:
+		return "IA-WP"
+	case AP:
+		return "IA-AP"
+	case AW:
+		return "IA-AW"
+	default:
+		s := ""
+		if c&Affinity != 0 {
+			s += "A"
+		}
+		if c&Willingness != 0 {
+			s += "W"
+		}
+		if c&Propagation != 0 {
+			s += "P"
+		}
+		if s == "" {
+			return "none"
+		}
+		return s
+	}
+}
+
+// Engine owns the trained models and produces per-instance evaluators.
+type Engine struct {
+	// Prop is the RRR collection over the full social graph.
+	Prop *rrr.Collection
+	// Wil is the fitted Historical Acceptance model.
+	Wil *mobility.Model
+	// LDA is the trained topic model; ThetaUser[u] is user u's
+	// document-topic distribution (nil or uniform when the user has no
+	// history).
+	LDA       *lda.Model
+	ThetaUser [][]float64
+	// TopLocations caps how many of a worker's highest-stationary-mass
+	// locations the willingness sum uses when building the dense
+	// willingness matrix; 0 means all. The truncation is a performance
+	// valve for the |W_G|×|S| matrix and preserves ≥95% of the mass on
+	// heavy-tailed visit distributions.
+	TopLocations int
+}
+
+// rootCount is a compacted view of the RRR cover of one instance worker:
+// how many sets rooted at Root contain the worker.
+type rootCount struct {
+	root  int32
+	count int32
+}
+
+// Evaluator answers influence queries for one time instance. Build it
+// once per instance (via Prepare) and share it across every assignment
+// algorithm so all of them price the same pairs identically.
+type Evaluator struct {
+	comps Components
+	nW    int // instance workers
+	nT    int // instance tasks
+	nU    int // users in the social graph
+
+	// users[w] is the graph/user id of instance worker w.
+	users []int32
+	// thetaW[w], thetaT[t]: topic distributions.
+	thetaW [][]float64
+	thetaT [][]float64
+	// wilMat[t*nU+u] = Pwil(u, task t's location); float32 to halve the
+	// footprint of the |W_G|×|S| matrix.
+	wilMat []float32
+	// wilColSum[t] = Σ_u Pwil(u, t) — used by the AW mask where the
+	// propagation factor is neutral.
+	wilColSum []float64
+	// roots[w] lists (root, multiplicity) over RRR sets containing the
+	// instance worker w; scale converts a multiplicity into Ppro.
+	roots [][]rootCount
+	scale float64
+	// propSum[w] = Σ_{wi≠ws} Ppro(ws, wi) for instance worker w — the AP
+	// numerator and the Average Propagation metric.
+	propSum []float64
+}
+
+// Prepare computes the per-instance state for evaluating if(w, s) on any
+// feasible pair of the instance under the given component mask.
+// taskSeed makes per-task LDA fold-in deterministic.
+func (e *Engine) Prepare(inst *model.Instance, comps Components, taskSeed uint64) *Evaluator {
+	nW, nT := len(inst.Workers), len(inst.Tasks)
+	nU := e.Prop.Graph().N()
+	ev := &Evaluator{comps: comps, nW: nW, nT: nT, nU: nU}
+
+	ev.users = make([]int32, nW)
+	for i, w := range inst.Workers {
+		ev.users[i] = int32(w.User)
+	}
+
+	if comps&Affinity != 0 {
+		ev.thetaW = make([][]float64, nW)
+		for i, w := range inst.Workers {
+			if int(w.User) < len(e.ThetaUser) && e.ThetaUser[w.User] != nil {
+				ev.thetaW[i] = e.ThetaUser[w.User]
+			} else {
+				ev.thetaW[i] = uniformTopics(e.LDA.Topics())
+			}
+		}
+		ev.thetaT = make([][]float64, nT)
+		for j, s := range inst.Tasks {
+			doc := make([]int32, len(s.Categories))
+			for k, c := range s.Categories {
+				doc[k] = int32(c)
+			}
+			ev.thetaT[j] = e.LDA.Infer(doc, taskSeed+uint64(j)*0x9e37)
+		}
+	}
+
+	if comps&Willingness != 0 {
+		ev.wilMat = make([]float32, nT*nU)
+		ev.wilColSum = make([]float64, nT)
+		models := e.truncatedModels()
+		for t, s := range inst.Tasks {
+			row := ev.wilMat[t*nU : (t+1)*nU]
+			sum := 0.0
+			for u := 0; u < nU; u++ {
+				wm := models[u]
+				if wm == nil {
+					continue
+				}
+				v := wm.Willingness(s.Loc)
+				row[u] = float32(v)
+				sum += v
+			}
+			ev.wilColSum[t] = sum
+		}
+	}
+
+	if comps&Propagation != 0 {
+		ev.scale = 0
+		if n := e.Prop.NumSets(); n > 0 {
+			ev.scale = float64(nU) / float64(n)
+		}
+		ev.roots = make([][]rootCount, nW)
+		ev.propSum = make([]float64, nW)
+		for i := range inst.Workers {
+			u := ev.users[i]
+			ev.roots[i] = compactRoots(e.Prop, u)
+			ev.propSum[i] = propagationSum(ev.roots[i], u, ev.scale)
+		}
+	} else {
+		// The AP metric is still reported for propagation-free variants;
+		// compute it from the collection without letting it affect if().
+		ev.propSum = make([]float64, nW)
+		for i := range inst.Workers {
+			ev.propSum[i] = e.Prop.PropagationSum(int32(inst.Workers[i].User))
+		}
+	}
+	return ev
+}
+
+// truncatedModels returns per-user willingness models limited to the
+// TopLocations highest-stationary-probability locations.
+func (e *Engine) truncatedModels() []*mobility.WorkerModel {
+	nU := e.Prop.Graph().N()
+	out := make([]*mobility.WorkerModel, nU)
+	for u := 0; u < nU; u++ {
+		wm := e.Wil.Worker(model.WorkerID(u))
+		if wm == nil {
+			continue
+		}
+		if e.TopLocations <= 0 || len(wm.Locs) <= e.TopLocations {
+			out[u] = wm
+			continue
+		}
+		out[u] = truncateModel(wm, e.TopLocations)
+	}
+	return out
+}
+
+func truncateModel(wm *mobility.WorkerModel, top int) *mobility.WorkerModel {
+	type ip struct {
+		i int
+		p float64
+	}
+	items := make([]ip, len(wm.Stationary))
+	for i, p := range wm.Stationary {
+		items[i] = ip{i, p}
+	}
+	// Partial selection of the top locations (selection sort over `top`
+	// slots; top is a small constant).
+	for a := 0; a < top; a++ {
+		best := a
+		for b := a + 1; b < len(items); b++ {
+			if items[b].p > items[best].p {
+				best = b
+			}
+		}
+		items[a], items[best] = items[best], items[a]
+	}
+	t := &mobility.WorkerModel{Shape: wm.Shape}
+	mass := 0.0
+	for _, it := range items[:top] {
+		mass += it.p
+	}
+	for _, it := range items[:top] {
+		t.Locs = append(t.Locs, wm.Locs[it.i])
+		// Renormalize so the stationary distribution stays a
+		// distribution after truncation.
+		t.Stationary = append(t.Stationary, it.p/mass)
+	}
+	return t
+}
+
+func compactRoots(c *rrr.Collection, user int32) []rootCount {
+	counts := make(map[int32]int32)
+	for _, id := range c.SetIDs(user) {
+		counts[c.Root(id)]++
+	}
+	out := make([]rootCount, 0, len(counts))
+	for r, n := range counts {
+		out = append(out, rootCount{root: r, count: n})
+	}
+	// Sort so float summation order — and therefore every influence
+	// value — is deterministic run to run.
+	sort.Slice(out, func(i, j int) bool { return out[i].root < out[j].root })
+	return out
+}
+
+func propagationSum(roots []rootCount, self int32, scale float64) float64 {
+	sum := 0.0
+	for _, rc := range roots {
+		if rc.root == self {
+			continue
+		}
+		v := scale * float64(rc.count)
+		if v > 1 {
+			v = 1
+		}
+		sum += v
+	}
+	return sum
+}
+
+func uniformTopics(k int) []float64 {
+	u := make([]float64, k)
+	for i := range u {
+		u[i] = 1 / float64(k)
+	}
+	return u
+}
+
+// Influence returns if(w, s) for instance worker index w and task index
+// t under the evaluator's component mask.
+func (ev *Evaluator) Influence(w, t int) float64 {
+	aff := 1.0
+	if ev.comps&Affinity != 0 {
+		aff = lda.Affinity(ev.thetaW[w], ev.thetaT[t])
+	}
+	var spread float64
+	switch {
+	case ev.comps&Propagation != 0 && ev.comps&Willingness != 0:
+		// Σ_{wi≠ws} Pwil(wi,s) · Ppro(ws,wi), via the RRR cover of ws.
+		row := ev.wilMat[t*ev.nU : (t+1)*ev.nU]
+		self := ev.users[w]
+		for _, rc := range ev.roots[w] {
+			if rc.root == self {
+				continue
+			}
+			p := ev.scale * float64(rc.count)
+			if p > 1 {
+				p = 1
+			}
+			spread += float64(row[rc.root]) * p
+		}
+	case ev.comps&Propagation != 0:
+		// Willingness neutral (IA-AP): Σ Ppro(ws, wi).
+		spread = ev.propSum[w]
+	case ev.comps&Willingness != 0:
+		// Propagation neutral (IA-AW): Σ_{wi≠ws} Pwil(wi, s).
+		spread = ev.wilColSum[t] - float64(ev.wilMat[t*ev.nU+int(ev.users[w])])
+	default:
+		// Neither spread factor: the influence degenerates to affinity.
+		spread = 1
+	}
+	return aff * spread
+}
+
+// PropagationSum returns Σ_{wi≠ws} Ppro(ws, wi) for instance worker w —
+// the per-worker term of the Average Propagation metric (Equation 7).
+func (ev *Evaluator) PropagationSum(w int) float64 { return ev.propSum[w] }
+
+// NumWorkers returns the instance worker count the evaluator was built
+// for.
+func (ev *Evaluator) NumWorkers() int { return ev.nW }
+
+// NumTasks returns the instance task count the evaluator was built for.
+func (ev *Evaluator) NumTasks() int { return ev.nT }
+
+// Components returns the active component mask.
+func (ev *Evaluator) Components() Components { return ev.comps }

@@ -1,0 +1,334 @@
+// Package lda implements Latent Dirichlet Allocation trained with
+// collapsed Gibbs sampling, specialized to the paper's worker-task
+// affinity component (Section III-A).
+//
+// Each worker's historical task-performing record is a "document" whose
+// "words" are the category labels of the tasks the worker completed. A
+// task's document is its own category labels. After training, the
+// affinity between a worker and a task is
+//
+//	Paff(w, s) = Σ_t P(w|t) · P(s|t)
+//
+// which we realize as the dot product of the two documents' inferred
+// topic distributions (fold-in Gibbs estimates for unseen documents);
+// semantically related categories concentrate in the same topics, so
+// correlated preference and task profiles score high.
+package lda
+
+import (
+	"fmt"
+	"math"
+
+	"dita/internal/randx"
+)
+
+// Config holds LDA hyperparameters. Zero values select the defaults used
+// in the experiments (|Top| = 50 per the paper; symmetric Dirichlet
+// priors α = 50/K, β = 0.01; 200 training sweeps; 50 fold-in sweeps).
+type Config struct {
+	Topics     int     // number of topics |Top|
+	Alpha      float64 // document-topic Dirichlet prior
+	Beta       float64 // topic-word Dirichlet prior
+	TrainIters int     // Gibbs sweeps over the corpus
+	BurnIn     int     // sweeps discarded before averaging φ
+	InferIters int     // fold-in sweeps for unseen documents
+	Seed       uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topics <= 0 {
+		c.Topics = 50
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 50 / float64(c.Topics)
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.01
+	}
+	if c.TrainIters <= 0 {
+		c.TrainIters = 200
+	}
+	if c.BurnIn <= 0 || c.BurnIn >= c.TrainIters {
+		c.BurnIn = c.TrainIters / 2
+	}
+	if c.InferIters <= 0 {
+		c.InferIters = 50
+	}
+	return c
+}
+
+// Model is a trained LDA model: the topic-term distribution φ plus the
+// training corpus' document-topic distributions θ.
+type Model struct {
+	cfg   Config
+	vocab int
+	// phi[t][v] = P(v|t), averaged over post-burn-in Gibbs states.
+	phi [][]float64
+	// theta[d][t] = P(t|d) for each training document.
+	theta [][]float64
+}
+
+// Train fits an LDA model on the corpus, where docs[d] lists the word
+// (category) ids of document d and vocab is the vocabulary size. Empty
+// documents are legal and produce the uniform topic distribution.
+func Train(docs [][]int32, vocab int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if vocab <= 0 {
+		return nil, fmt.Errorf("lda: vocabulary size must be positive, got %d", vocab)
+	}
+	for d, doc := range docs {
+		for _, w := range doc {
+			if w < 0 || int(w) >= vocab {
+				return nil, fmt.Errorf("lda: doc %d has word %d outside vocab [0,%d)", d, w, vocab)
+			}
+		}
+	}
+	K := cfg.Topics
+	rng := randx.New(cfg.Seed)
+
+	// Collapsed Gibbs state.
+	nDT := make([][]int32, len(docs)) // doc × topic counts
+	nTW := make([][]int32, K)         // topic × word counts
+	nT := make([]int32, K)            // topic totals
+	for t := range nTW {
+		nTW[t] = make([]int32, vocab)
+	}
+	z := make([][]int8, len(docs)) // topic assignment per token (K ≤ 127 fits; use int16 when larger)
+	zWide := make([][]int16, len(docs))
+	wide := K > 127
+	for d, doc := range docs {
+		nDT[d] = make([]int32, K)
+		if wide {
+			zWide[d] = make([]int16, len(doc))
+		} else {
+			z[d] = make([]int8, len(doc))
+		}
+		for i, w := range doc {
+			t := rng.Intn(K)
+			if wide {
+				zWide[d][i] = int16(t)
+			} else {
+				z[d][i] = int8(t)
+			}
+			nDT[d][t]++
+			nTW[t][w]++
+			nT[t]++
+		}
+	}
+	getZ := func(d, i int) int {
+		if wide {
+			return int(zWide[d][i])
+		}
+		return int(z[d][i])
+	}
+	setZ := func(d, i, t int) {
+		if wide {
+			zWide[d][i] = int16(t)
+		} else {
+			z[d][i] = int8(t)
+		}
+	}
+
+	phiAcc := make([][]float64, K)
+	for t := range phiAcc {
+		phiAcc[t] = make([]float64, vocab)
+	}
+	thetaAcc := make([][]float64, len(docs))
+	for d := range thetaAcc {
+		thetaAcc[d] = make([]float64, K)
+	}
+	samples := 0
+
+	vBeta := float64(vocab) * cfg.Beta
+	probs := make([]float64, K)
+	for iter := 0; iter < cfg.TrainIters; iter++ {
+		for d, doc := range docs {
+			for i, w := range doc {
+				t := getZ(d, i)
+				nDT[d][t]--
+				nTW[t][w]--
+				nT[t]--
+				// p(z=t | rest) ∝ (nDT+α)(nTW+β)/(nT+Vβ)
+				total := 0.0
+				for k := 0; k < K; k++ {
+					p := (float64(nDT[d][k]) + cfg.Alpha) *
+						(float64(nTW[k][w]) + cfg.Beta) /
+						(float64(nT[k]) + vBeta)
+					probs[k] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				nt := K - 1
+				acc := 0.0
+				for k := 0; k < K; k++ {
+					acc += probs[k]
+					if u < acc {
+						nt = k
+						break
+					}
+				}
+				setZ(d, i, nt)
+				nDT[d][nt]++
+				nTW[nt][w]++
+				nT[nt]++
+			}
+		}
+		if iter >= cfg.BurnIn {
+			samples++
+			for t := 0; t < K; t++ {
+				den := float64(nT[t]) + vBeta
+				for v := 0; v < vocab; v++ {
+					phiAcc[t][v] += (float64(nTW[t][v]) + cfg.Beta) / den
+				}
+			}
+			for d := range docs {
+				den := float64(len(docs[d])) + float64(K)*cfg.Alpha
+				for t := 0; t < K; t++ {
+					thetaAcc[d][t] += (float64(nDT[d][t]) + cfg.Alpha) / den
+				}
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	m := &Model{cfg: cfg, vocab: vocab, phi: phiAcc, theta: thetaAcc}
+	for t := range m.phi {
+		for v := range m.phi[t] {
+			m.phi[t][v] /= float64(samples)
+		}
+	}
+	for d := range m.theta {
+		if len(docs[d]) == 0 {
+			for t := 0; t < K; t++ {
+				m.theta[d][t] = 1 / float64(K)
+			}
+			continue
+		}
+		for t := range m.theta[d] {
+			m.theta[d][t] /= float64(samples)
+		}
+	}
+	return m, nil
+}
+
+// Topics returns the number of topics K.
+func (m *Model) Topics() int { return m.cfg.Topics }
+
+// Vocab returns the vocabulary size.
+func (m *Model) Vocab() int { return m.vocab }
+
+// Phi returns P(word|topic) for the given topic; the returned slice
+// aliases model storage.
+func (m *Model) Phi(topic int) []float64 { return m.phi[topic] }
+
+// DocTopics returns the training document d's topic distribution θ_d.
+func (m *Model) DocTopics(d int) []float64 { return m.theta[d] }
+
+// Infer folds an unseen document into the trained model and returns its
+// topic distribution. The topic-term distribution φ stays fixed; only the
+// document's own assignments are resampled. Deterministic given seed.
+func (m *Model) Infer(doc []int32, seed uint64) []float64 {
+	K := m.cfg.Topics
+	out := make([]float64, K)
+	if len(doc) == 0 {
+		for t := range out {
+			out[t] = 1 / float64(K)
+		}
+		return out
+	}
+	rng := randx.New(seed ^ 0xd1a0c0de)
+	z := make([]int, len(doc))
+	cnt := make([]int32, K)
+	for i := range doc {
+		t := rng.Intn(K)
+		z[i] = t
+		cnt[t]++
+	}
+	probs := make([]float64, K)
+	acc := make([]float64, K)
+	samples := 0
+	burn := m.cfg.InferIters / 2
+	for iter := 0; iter < m.cfg.InferIters; iter++ {
+		for i, w := range doc {
+			t := z[i]
+			cnt[t]--
+			total := 0.0
+			for k := 0; k < K; k++ {
+				p := (float64(cnt[k]) + m.cfg.Alpha) * m.phi[k][w]
+				probs[k] = p
+				total += p
+			}
+			nt := K - 1
+			if total > 0 {
+				u := rng.Float64() * total
+				s := 0.0
+				for k := 0; k < K; k++ {
+					s += probs[k]
+					if u < s {
+						nt = k
+						break
+					}
+				}
+			}
+			z[i] = nt
+			cnt[nt]++
+		}
+		if iter >= burn {
+			samples++
+			den := float64(len(doc)) + float64(K)*m.cfg.Alpha
+			for t := 0; t < K; t++ {
+				acc[t] += (float64(cnt[t]) + m.cfg.Alpha) / den
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	for t := range out {
+		out[t] = acc[t] / float64(samples)
+	}
+	return out
+}
+
+// Affinity returns Paff for two topic distributions: Σ_t θw[t]·θs[t].
+// It panics when the lengths differ (mixing models is a programming
+// error).
+func Affinity(thetaW, thetaS []float64) float64 {
+	if len(thetaW) != len(thetaS) {
+		panic("lda: affinity over distributions of different dimension")
+	}
+	sum := 0.0
+	for t := range thetaW {
+		sum += thetaW[t] * thetaS[t]
+	}
+	return sum
+}
+
+// Perplexity computes the per-word perplexity of held-out documents under
+// the model, using each document's fold-in topic distribution. Lower is
+// better; tests use it to confirm training actually fits structure.
+func (m *Model) Perplexity(docs [][]int32, seed uint64) float64 {
+	logSum, words := 0.0, 0
+	for d, doc := range docs {
+		if len(doc) == 0 {
+			continue
+		}
+		theta := m.Infer(doc, seed+uint64(d))
+		for _, w := range doc {
+			p := 0.0
+			for t := 0; t < m.cfg.Topics; t++ {
+				p += theta[t] * m.phi[t][w]
+			}
+			if p < 1e-300 {
+				p = 1e-300
+			}
+			logSum += math.Log(p)
+			words++
+		}
+	}
+	if words == 0 {
+		return 0
+	}
+	return math.Exp(-logSum / float64(words))
+}

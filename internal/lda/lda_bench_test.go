@@ -1,0 +1,62 @@
+package lda
+
+import (
+	"testing"
+
+	"dita/internal/randx"
+)
+
+func benchCorpus(nDocs, docLen, vocab int, seed uint64) [][]int32 {
+	rng := randx.New(seed)
+	docs := make([][]int32, nDocs)
+	for d := range docs {
+		block := (d % 5) * (vocab / 5)
+		doc := make([]int32, docLen)
+		for i := range doc {
+			doc[i] = int32(block + rng.Intn(vocab/5))
+		}
+		docs[d] = doc
+	}
+	return docs
+}
+
+// BenchmarkTrain measures collapsed Gibbs training at the paper's
+// |Top|=50 on a worker-history-sized corpus.
+func BenchmarkTrain(b *testing.B) {
+	docs := benchCorpus(500, 40, 60, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(docs, 60, Config{Topics: 50, TrainIters: 50, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInfer measures per-task fold-in — executed once per task per
+// time instance in the influence pipeline.
+func BenchmarkInfer(b *testing.B) {
+	docs := benchCorpus(200, 40, 60, 1)
+	m, err := Train(docs, 60, Config{Topics: 50, TrainIters: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := []int32{3, 17, 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Infer(doc, uint64(i))
+	}
+}
+
+// BenchmarkAffinity measures the per-pair affinity dot product.
+func BenchmarkAffinity(b *testing.B) {
+	docs := benchCorpus(50, 40, 60, 1)
+	m, err := Train(docs, 60, Config{Topics: 50, TrainIters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, c := m.DocTopics(0), m.DocTopics(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Affinity(a, c)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mobility implements the Historical Acceptance (HA) approach of
+// Section III-B: the probability Pwil(w, s) that worker w is willing to
+// visit the location of task s, derived from the worker's historical
+// task-performing records.
+//
+// HA combines two parts:
+//
+//  1. A stationary distribution Pw(w, si) over the locations the worker
+//     has performed tasks at, computed with Random Walk with Restart over
+//     the worker's location-transition structure. (The paper's weight
+//     matrix is row-normalized over visited locations; we walk the
+//     observed consecutive-visit transitions with a restart to the
+//     empirical visit distribution, which reduces to the paper's uniform
+//     construction when every location is visited equally often.)
+//  2. A Pareto tail probability of moving distance d(si, s): the movement
+//     lengths are self-similar, so P[move ≥ x] = (x+1)^(−π) with the
+//     shape π fitted by maximum likelihood (Equation 1).
+//
+// The willingness is Equation 2:
+//
+//	Pwil(w,s) = Σ_i Pw(w,si) · (d(si,s)+1)^(−π)
+package mobility
+
+import (
+	"math"
+
+	"dita/internal/geo"
+	"dita/internal/model"
+)
+
+// Config controls HA model fitting. Zero values select defaults: restart
+// probability 0.15, power-iteration tolerance 1e-10, 200 max iterations,
+// default Pareto shape 2 for degenerate histories, shape clamped to
+// [0.05, 16].
+type Config struct {
+	RestartProb  float64
+	Tolerance    float64
+	MaxIters     int
+	DefaultShape float64
+	MinShape     float64
+	MaxShape     float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RestartProb <= 0 || c.RestartProb >= 1 {
+		c.RestartProb = 0.15
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-10
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 200
+	}
+	if c.DefaultShape <= 0 {
+		c.DefaultShape = 2
+	}
+	if c.MinShape <= 0 {
+		c.MinShape = 0.05
+	}
+	if c.MaxShape <= 0 {
+		c.MaxShape = 16
+	}
+	return c
+}
+
+// WorkerModel is the fitted HA state for one worker: the distinct
+// locations of performed tasks, their stationary probabilities, and the
+// Pareto shape of the worker's movement lengths.
+type WorkerModel struct {
+	Locs       []geo.Point
+	Stationary []float64
+	Shape      float64
+}
+
+// Willingness evaluates Equation 2 at the given task location. A worker
+// with no history has zero willingness everywhere (they have never
+// accepted anything).
+func (wm *WorkerModel) Willingness(loc geo.Point) float64 {
+	sum := 0.0
+	for i, p := range wm.Locs {
+		d := geo.Dist(p, loc)
+		sum += wm.Stationary[i] * math.Pow(d+1, -wm.Shape)
+	}
+	return sum
+}
+
+// Model holds fitted worker models keyed by stable user id.
+type Model struct {
+	cfg     Config
+	workers map[model.WorkerID]*WorkerModel
+}
+
+// Fit builds HA models for every worker with a history. Histories must be
+// (or will be treated as) ordered by check-in time; Fit sorts defensively.
+func Fit(histories map[model.WorkerID]model.History, cfg Config) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg, workers: make(map[model.WorkerID]*WorkerModel, len(histories))}
+	for id, h := range histories {
+		if len(h) == 0 {
+			continue
+		}
+		h.SortByTime()
+		m.workers[id] = fitWorker(h, cfg)
+	}
+	return m
+}
+
+// Worker returns the fitted model for a user, or nil when the user has no
+// history.
+func (m *Model) Worker(id model.WorkerID) *WorkerModel { return m.workers[id] }
+
+// Willingness returns Pwil(w, s) for user id and a task location; zero
+// when the user has no history.
+func (m *Model) Willingness(id model.WorkerID, loc geo.Point) float64 {
+	wm := m.workers[id]
+	if wm == nil {
+		return 0
+	}
+	return wm.Willingness(loc)
+}
+
+// NumWorkers returns how many workers have fitted models.
+func (m *Model) NumWorkers() int { return len(m.workers) }
+
+func fitWorker(h model.History, cfg Config) *WorkerModel {
+	// Distinct locations in first-visit order; visits counted per venue.
+	index := make(map[model.VenueID]int)
+	var locs []geo.Point
+	visits := []float64{}
+	seq := make([]int, len(h)) // per record: its location state index
+	for i, c := range h {
+		j, ok := index[c.Venue]
+		if !ok {
+			j = len(locs)
+			index[c.Venue] = j
+			locs = append(locs, c.Loc)
+			visits = append(visits, 0)
+		}
+		visits[j]++
+		seq[i] = j
+	}
+	n := len(locs)
+	wm := &WorkerModel{
+		Locs:       locs,
+		Stationary: stationaryRWR(n, seq, visits, cfg),
+		Shape:      FitParetoShape(movementSamples(h), cfg),
+	}
+	return wm
+}
+
+// movementSamples returns x_i = d(s_i, s_{i+1}) + 1 over consecutive
+// performed tasks, the samples Equation 1's MLE consumes.
+func movementSamples(h model.History) []float64 {
+	if len(h) < 2 {
+		return nil
+	}
+	xs := make([]float64, 0, len(h)-1)
+	for i := 0; i+1 < len(h); i++ {
+		xs = append(xs, geo.Dist(h[i].Loc, h[i+1].Loc)+1)
+	}
+	return xs
+}
+
+// FitParetoShape implements Equation 1: π = (n)/Σ ln x_i over n samples
+// with x_i ≥ 1 (the paper writes |Sw|−1 samples for a history of |Sw|
+// records; here n = len(xs) is already that count). When Σ ln x_i = 0 —
+// the worker never moved — the paper's formula is undefined and the
+// configured default shape is returned. The result is clamped to
+// [MinShape, MaxShape] to keep downstream powers stable.
+func FitParetoShape(xs []float64, cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	if len(xs) == 0 {
+		return cfg.DefaultShape
+	}
+	sumLn := 0.0
+	for _, x := range xs {
+		if x < 1 {
+			x = 1
+		}
+		sumLn += math.Log(x)
+	}
+	if sumLn <= 0 {
+		return cfg.DefaultShape
+	}
+	pi := float64(len(xs)) / sumLn
+	if pi < cfg.MinShape {
+		pi = cfg.MinShape
+	}
+	if pi > cfg.MaxShape {
+		pi = cfg.MaxShape
+	}
+	return pi
+}
+
+// stationaryRWR computes the Random Walk with Restart stationary
+// distribution over the worker's n distinct locations. The transition
+// matrix follows the observed consecutive-visit transitions (row
+// normalized); states without outgoing transitions redistribute uniformly
+// (standard dangling-node handling). The restart vector is the empirical
+// visit distribution.
+func stationaryRWR(n int, seq []int, visits []float64, cfg Config) []float64 {
+	if n == 1 {
+		return []float64{1}
+	}
+	// Sparse transition counts.
+	trans := make([]map[int]float64, n)
+	outTotal := make([]float64, n)
+	for i := 0; i+1 < len(seq); i++ {
+		a, b := seq[i], seq[i+1]
+		if trans[a] == nil {
+			trans[a] = make(map[int]float64)
+		}
+		trans[a][b]++
+		outTotal[a]++
+	}
+	// Restart vector: empirical visit frequencies.
+	restart := make([]float64, n)
+	totalVisits := 0.0
+	for _, v := range visits {
+		totalVisits += v
+	}
+	for i, v := range visits {
+		restart[i] = v / totalVisits
+	}
+
+	p := make([]float64, n)
+	next := make([]float64, n)
+	copy(p, restart)
+	c := 1 - cfg.RestartProb // continue probability
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for a := 0; a < n; a++ {
+			if outTotal[a] == 0 {
+				dangling += p[a]
+				continue
+			}
+			for b, w := range trans[a] {
+				next[b] += p[a] * w / outTotal[a]
+			}
+		}
+		diff := 0.0
+		for i := 0; i < n; i++ {
+			v := c*(next[i]+dangling/float64(n)) + cfg.RestartProb*restart[i]
+			diff += math.Abs(v - p[i])
+			next[i] = v
+		}
+		p, next = next, p
+		if diff < cfg.Tolerance {
+			break
+		}
+	}
+	// Normalize defensively against floating point drift.
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range p {
+			p[i] /= sum
+		}
+	}
+	return p
+}

@@ -1,0 +1,386 @@
+// Package rrr implements the Random reverse reachable-based Propagation
+// Optimization (RPO) algorithm of Section III-C2 and its feasibility
+// machinery (Section III-E): random reverse-reachable (RRR) set sampling
+// under the Independent Cascade model, the iteration-based lower bound
+// NR(k) (Lemma 6), the threshold-based lower bound N'R(γ) (Lemma 5), the
+// greedy informed worker (Definition 8), and the resulting worker
+// propagation estimates Ppro(ws, wi) (Equation 3).
+package rrr
+
+import (
+	"math"
+	"sort"
+
+	"dita/internal/randx"
+	"dita/internal/socialgraph"
+)
+
+// Params configures the RPO algorithm. Zero values select the paper's
+// defaults (ε = 0.1, o = 1) with a practical memory cap.
+type Params struct {
+	// Epsilon is the approximation parameter ε; the estimate is a
+	// (1−ε)-approximation with high probability. Default 0.1.
+	Epsilon float64
+	// O sets the failure probability λ = 1/|W|^o. Default 1.
+	O float64
+	// MaxSets caps the total number of RRR sets generated, bounding
+	// memory on large graphs. Default 1 << 18. The Stats record whether
+	// the cap bound the theoretical requirement.
+	MaxSets int
+	// Seed drives all sampling. Two runs with equal Params over the same
+	// graph produce identical estimates.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.1
+	}
+	if p.O <= 0 {
+		p.O = 1
+	}
+	if p.MaxSets <= 0 {
+		p.MaxSets = 1 << 18
+	}
+	return p
+}
+
+// Stats reports how the RPO run unfolded; the benchmark harness prints
+// them and tests assert on them.
+type Stats struct {
+	NumSets      int     // |R| finally used
+	TargetSets   int     // max(N'R(γ), NR(ki)) before capping
+	Ki           float64 // the accepted test value k_i
+	NOptP        float64 // N^opt_p = |W|·f_R(w^θ_s) at acceptance
+	GreedyWorker int32   // the greedy informed worker w^θ_s
+	SigmaLower   float64 // derived lower bound on σ(w^τ_s)
+	Capped       bool    // true when MaxSets bound the requirement
+	Iterations   int     // halving iterations performed
+}
+
+// Collection is a materialized family R of RRR sets over a social graph
+// plus the inverted index needed to answer propagation queries. Build it
+// once per (graph, time instance) and query propagation vectors for any
+// number of source workers.
+type Collection struct {
+	g *socialgraph.Graph
+	// roots[j] is the uniformly chosen root of set j.
+	roots []int32
+	// cover is the inverted index: cover[w] lists the ids of sets that
+	// contain worker w (including sets rooted at w itself — a root
+	// trivially reaches itself).
+	cover [][]int32
+	stats Stats
+}
+
+// Build runs the full RPO procedure (Algorithm 1) over g and returns the
+// resulting collection. The algorithm iterates k from |W|/2 downward,
+// generating NR(k) sets per iteration, until the greedy informed worker's
+// coverage N^opt_p crosses the threshold γ = (1+ε*)·k; then it tops the
+// collection up to the threshold-based bound N'R(γ).
+func Build(g *socialgraph.Graph, p Params) *Collection {
+	p = p.withDefaults()
+	n := g.N()
+	c := &Collection{g: g, cover: make([][]int32, n)}
+	if n == 0 {
+		return c
+	}
+	if n == 1 {
+		// Single worker: nothing can propagate anywhere.
+		c.stats = Stats{NumSets: 0, TargetSets: 0}
+		return c
+	}
+	rng := randx.New(p.Seed)
+	W := float64(n)
+	epsStar := math.Sqrt2 * p.Epsilon
+	// λ* = 1/(|W|^o · log2|W|), λ = 1/|W|^o  (Section III-E).
+	log2W := math.Log2(W)
+	if log2W < 1 {
+		log2W = 1
+	}
+	lnInvLambdaStar := p.O*math.Log(W) + math.Log(log2W)
+	lnInvLambda := p.O * math.Log(W)
+
+	sampler := newSampler(g)
+	coverage := make([]int32, n) // coverage[w] = number of sets containing w
+
+	addSets := func(count int, rng *randx.Rand) {
+		for i := 0; i < count; i++ {
+			root := int32(rng.Intn(n))
+			set := sampler.sample(root, rng)
+			id := int32(len(c.roots))
+			c.roots = append(c.roots, root)
+			for _, w := range set {
+				c.cover[w] = append(c.cover[w], id)
+				coverage[w]++
+			}
+		}
+	}
+	reset := func() {
+		c.roots = c.roots[:0]
+		for i := range c.cover {
+			c.cover[i] = c.cover[i][:0]
+		}
+		for i := range coverage {
+			coverage[i] = 0
+		}
+	}
+
+	var st Stats
+	accepted := false
+	// K = {|W|/2, |W|/4, ..., 2}; the paper runs T(ki) on O(log2|W|)
+	// values of K.
+	for k := W / 2; k >= 2; k /= 2 {
+		st.Iterations++
+		// NR(k) per Lemma 6.
+		nrk := (2 + 2*epsStar/3) * (math.Log(W) + lnInvLambdaStar) * W / (epsStar * epsStar * k)
+		want := int(math.Ceil(nrk))
+		if want > p.MaxSets {
+			want = p.MaxSets
+			st.Capped = true
+		}
+		if add := want - len(c.roots); add > 0 {
+			addSets(add, rng)
+		}
+		// N^opt_p = |W| · max_w f_R(w)  (greedy informed worker).
+		best, bestCov := int32(0), int32(-1)
+		for w := int32(0); w < int32(n); w++ {
+			if coverage[w] > bestCov {
+				best, bestCov = w, coverage[w]
+			}
+		}
+		nOptP := W * float64(bestCov) / float64(len(c.roots))
+		gamma := (1 + epsStar) * k
+		if nOptP >= gamma {
+			// σ(w^τ_s) ≥ N^opt_p · ki/γ with probability ≥ 1−λ*.
+			sigma := nOptP * k / gamma
+			st.Ki = k
+			st.NOptP = nOptP
+			st.GreedyWorker = best
+			st.SigmaLower = sigma
+			// N'R(γ) per Lemma 5.
+			nr := 2 * W * lnInvLambda / (sigma * p.Epsilon * p.Epsilon)
+			st.TargetSets = int(math.Ceil(nr))
+			accepted = true
+			break
+		}
+		// Test failed: discard R as Algorithm 1 prescribes (line 13) and
+		// halve k. (A fresh batch of the larger size is generated next
+		// round; regeneration keeps the estimator's independence
+		// assumptions intact.)
+		reset()
+	}
+	if !accepted {
+		// Every test failed, meaning even σ(w^τ_s) < 2: the graph barely
+		// propagates. Fall back to the most conservative bound with
+		// σ = 1 (a worker always reaches itself).
+		st.Ki = 2
+		st.SigmaLower = 1
+		st.TargetSets = int(math.Ceil(2 * W * lnInvLambda / (p.Epsilon * p.Epsilon)))
+	}
+	want := st.TargetSets
+	if want > p.MaxSets {
+		want = p.MaxSets
+		st.Capped = true
+	}
+	if add := want - len(c.roots); add > 0 {
+		addSets(add, rng)
+	}
+	st.NumSets = len(c.roots)
+	c.stats = st
+	return c
+}
+
+// Stats returns the run statistics recorded by Build.
+func (c *Collection) Stats() Stats { return c.stats }
+
+// NumSets returns |R|.
+func (c *Collection) NumSets() int { return len(c.roots) }
+
+// Graph returns the underlying social graph.
+func (c *Collection) Graph() *socialgraph.Graph { return c.g }
+
+// Propagation returns the worker-propagation vector WP_ws: for every
+// worker wi, the estimated probability Ppro(ws, wi) that wi is informed
+// when ws knows the task (Equation 3):
+//
+//	Ppro(ws, wi) = |W|/N · #{ sets rooted at wi that contain ws }.
+//
+// The self entry Ppro(ws, ws) is forced to zero because the influence sum
+// ranges over W \ {ws}.
+func (c *Collection) Propagation(ws int32) []float64 {
+	n := c.g.N()
+	out := make([]float64, n)
+	N := len(c.roots)
+	if N == 0 {
+		return out
+	}
+	scale := float64(n) / float64(N)
+	for _, id := range c.cover[ws] {
+		out[c.roots[id]] += scale
+	}
+	out[ws] = 0
+	// Probabilities cannot exceed 1; the unbiased estimator can overshoot
+	// on small N, so clamp for downstream stability.
+	for i := range out {
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// rootCounts tallies how many sets rooted at each worker contain ws,
+// returned in ascending root order so float accumulation over the result
+// is deterministic.
+func (c *Collection) rootCounts(ws int32) ([]int32, []int32) {
+	counts := make(map[int32]int32, len(c.cover[ws]))
+	for _, id := range c.cover[ws] {
+		counts[c.roots[id]]++
+	}
+	roots := make([]int32, 0, len(counts))
+	for r := range counts {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	ns := make([]int32, len(roots))
+	for i, r := range roots {
+		ns[i] = counts[r]
+	}
+	return roots, ns
+}
+
+// PropagationSum returns Σ_{wi ≠ ws} Ppro(ws, wi) without materializing
+// the vector; it is the Average Propagation (AP) contribution of ws and a
+// hot path of the benchmark harness.
+func (c *Collection) PropagationSum(ws int32) float64 {
+	N := len(c.roots)
+	if N == 0 {
+		return 0
+	}
+	roots, ns := c.rootCounts(ws)
+	scale := float64(c.g.N()) / float64(N)
+	sum := 0.0
+	for i, root := range roots {
+		if root == ws {
+			continue
+		}
+		v := scale * float64(ns[i])
+		if v > 1 {
+			v = 1
+		}
+		sum += v
+	}
+	return sum
+}
+
+// InformedRange returns σ(ws), the estimated fraction-scaled number of
+// workers informed by ws (Definition 6): Σ_i Ppro(ws, wi), this time
+// including the root-reaches-itself term the definition sums over.
+func (c *Collection) InformedRange(ws int32) float64 {
+	N := len(c.roots)
+	if N == 0 {
+		return 0
+	}
+	_, ns := c.rootCounts(ws)
+	scale := float64(c.g.N()) / float64(N)
+	sum := 0.0
+	for _, cnt := range ns {
+		v := scale * float64(cnt)
+		if v > 1 {
+			v = 1
+		}
+		sum += v
+	}
+	return sum
+}
+
+// CoverageCount returns how many sets contain w — |W|·f_R(w) divided by
+// |W|; exposed for tests of the greedy informed worker.
+func (c *Collection) CoverageCount(w int32) int { return len(c.cover[w]) }
+
+// SetIDs returns the ids of the RRR sets containing worker w. The slice
+// aliases internal storage and must not be modified.
+func (c *Collection) SetIDs(w int32) []int32 { return c.cover[w] }
+
+// Root returns the root worker of RRR set id.
+func (c *Collection) Root(id int32) int32 { return c.roots[id] }
+
+// sampler generates one RRR set: a reverse BFS from a root where each
+// in-edge (u → root-side node v) is traversed with probability
+// 1/indeg(v), which is exactly sampling a live-edge subgraph of the IC
+// model and collecting the nodes that can reach the root.
+type sampler struct {
+	g       *socialgraph.Graph
+	visited []int32 // visit stamps to avoid clearing an array per sample
+	stamp   int32
+	queue   []int32
+	out     []int32
+}
+
+func newSampler(g *socialgraph.Graph) *sampler {
+	return &sampler{g: g, visited: make([]int32, g.N())}
+}
+
+// sample returns the RRR set for root. The returned slice is only valid
+// until the next call; callers must copy if they retain it. The root is
+// always a member (it trivially reaches itself).
+func (s *sampler) sample(root int32, rng *randx.Rand) []int32 {
+	s.stamp++
+	s.queue = append(s.queue[:0], root)
+	s.out = append(s.out[:0], root)
+	s.visited[root] = s.stamp
+	for len(s.queue) > 0 {
+		v := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		in := s.g.In(v)
+		if len(in) == 0 {
+			continue
+		}
+		p := 1 / float64(len(in))
+		for _, u := range in {
+			if s.visited[u] == s.stamp {
+				continue
+			}
+			if rng.Bool(p) {
+				s.visited[u] = s.stamp
+				s.queue = append(s.queue, u)
+				s.out = append(s.out, u)
+			}
+		}
+	}
+	return s.out
+}
+
+// MonteCarloReference estimates Ppro(ws, ·) by brute-force sampling of
+// RRR sets without any of the RPO bound machinery; tests use it to verify
+// that Build's adaptive schedule converges to the same values.
+func MonteCarloReference(g *socialgraph.Graph, ws int32, sets int, seed uint64) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	if n == 0 || sets <= 0 {
+		return out
+	}
+	rng := randx.New(seed)
+	smp := newSampler(g)
+	counts := make([]int32, n)
+	for j := 0; j < sets; j++ {
+		root := int32(rng.Intn(n))
+		set := smp.sample(root, rng)
+		for _, w := range set {
+			if w == ws {
+				counts[root]++
+				break
+			}
+		}
+	}
+	scale := float64(n) / float64(sets)
+	for i := range out {
+		out[i] = scale * float64(counts[i])
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	out[ws] = 0
+	return out
+}

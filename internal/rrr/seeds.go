@@ -1,0 +1,75 @@
+package rrr
+
+// This file extends the RRR machinery with classic influence
+// maximization: selecting the k workers whose joint cascade informs the
+// largest expected audience. The paper's MI baseline "selects multiple
+// workers for each task"; TopKSeeds is the standard RIS greedy
+// max-coverage selection (Borgs et al., Tang et al.) over the same RRR
+// sets the RPO estimator already maintains, so a task issuer can ask
+// "which k workers should know about this task first?".
+
+// SeedSelection is the result of TopKSeeds: the chosen workers in pick
+// order and the estimated number of workers their joint cascade informs
+// (marginal spread estimates are cumulative).
+type SeedSelection struct {
+	Seeds []int32
+	// Spread[i] estimates the expected audience of Seeds[0..i].
+	Spread []float64
+}
+
+// TopKSeeds greedily picks k workers maximizing RRR-set coverage — the
+// (1−1/e)-approximate influence-maximization selection. It is
+// deterministic given the collection. k is clamped to the graph size.
+func (c *Collection) TopKSeeds(k int) SeedSelection {
+	n := c.g.N()
+	if k > n {
+		k = n
+	}
+	var sel SeedSelection
+	if k <= 0 || len(c.roots) == 0 {
+		return sel
+	}
+	covered := make([]bool, len(c.roots)) // RRR sets already covered
+	gain := make([]int, n)                // current marginal coverage per worker
+	for w := 0; w < n; w++ {
+		gain[w] = len(c.cover[w])
+	}
+	totalCovered := 0
+	scale := float64(n) / float64(len(c.roots))
+	for len(sel.Seeds) < k {
+		best, bestGain := -1, -1
+		for w := 0; w < n; w++ {
+			if gain[w] > bestGain {
+				best, bestGain = w, gain[w]
+			}
+		}
+		if best < 0 || bestGain <= 0 {
+			break
+		}
+		// Mark the sets the new seed covers and decrement the marginal
+		// gains of every other member of those sets.
+		for _, id := range c.cover[int32(best)] {
+			if covered[id] {
+				continue
+			}
+			covered[id] = true
+			totalCovered++
+		}
+		// Recompute gains lazily but exactly: subtract coverage overlap.
+		// (A CELF queue would be faster; exactness keeps this simple and
+		// deterministic, and k is small in practice.)
+		for w := 0; w < n; w++ {
+			cnt := 0
+			for _, id := range c.cover[int32(w)] {
+				if !covered[id] {
+					cnt++
+				}
+			}
+			gain[w] = cnt
+		}
+		gain[best] = -1 // never re-pick
+		sel.Seeds = append(sel.Seeds, int32(best))
+		sel.Spread = append(sel.Spread, scale*float64(totalCovered))
+	}
+	return sel
+}

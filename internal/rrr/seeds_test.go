@@ -1,0 +1,105 @@
+package rrr
+
+import (
+	"testing"
+
+	"dita/internal/ic"
+	"dita/internal/randx"
+	"dita/internal/socialgraph"
+)
+
+func TestTopKSeedsBasics(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(80, 2, randx.New(1))
+	c := Build(g, Params{Seed: 2})
+	sel := c.TopKSeeds(5)
+	if len(sel.Seeds) != 5 || len(sel.Spread) != 5 {
+		t.Fatalf("selected %d seeds, %d spreads", len(sel.Seeds), len(sel.Spread))
+	}
+	seen := map[int32]bool{}
+	for _, s := range sel.Seeds {
+		if seen[s] {
+			t.Fatalf("seed %d picked twice", s)
+		}
+		seen[s] = true
+	}
+	// Cumulative spread is nondecreasing and bounded by |W|.
+	for i := range sel.Spread {
+		if i > 0 && sel.Spread[i] < sel.Spread[i-1] {
+			t.Fatalf("spread decreased at %d: %v", i, sel.Spread)
+		}
+		if sel.Spread[i] < 0 || sel.Spread[i] > float64(g.N())+1e-9 {
+			t.Fatalf("spread %v outside [0,%d]", sel.Spread[i], g.N())
+		}
+	}
+}
+
+func TestTopKSeedsFirstIsGreedyWorker(t *testing.T) {
+	// The first seed maximizes single-worker coverage, i.e. it has the
+	// maximum coverage count.
+	g := socialgraph.GeneratePreferentialAttachment(60, 2, randx.New(3))
+	c := Build(g, Params{Seed: 4})
+	sel := c.TopKSeeds(1)
+	if len(sel.Seeds) != 1 {
+		t.Fatal("no seed selected")
+	}
+	best := c.CoverageCount(sel.Seeds[0])
+	for w := int32(0); w < int32(g.N()); w++ {
+		if c.CoverageCount(w) > best {
+			t.Fatalf("worker %d covers %d sets > first seed's %d",
+				w, c.CoverageCount(w), best)
+		}
+	}
+	// And its spread estimate equals its informed range.
+	if diff := sel.Spread[0] - c.InformedRange(sel.Seeds[0]); diff > 1e-9 || diff < -1e-9 {
+		// InformedRange clamps per-root estimates at 1 while TopKSeeds
+		// counts raw coverage, so allow a small relative gap.
+		rel := diff / sel.Spread[0]
+		if rel > 0.05 || rel < -0.05 {
+			t.Errorf("first seed spread %v vs informed range %v", sel.Spread[0], c.InformedRange(sel.Seeds[0]))
+		}
+	}
+}
+
+func TestTopKSeedsBeatSingletonsUnderIC(t *testing.T) {
+	// The greedy seed set's simulated joint spread must beat the same
+	// number of random workers, validating selection quality end to end.
+	g := socialgraph.GeneratePreferentialAttachment(120, 2, randx.New(5))
+	c := Build(g, Params{Seed: 6})
+	sel := c.TopKSeeds(4)
+	m := ic.NewModel(g)
+	greedySpread := m.Spread(sel.Seeds, 800, randx.New(7))
+	randomSeeds := []int32{11, 47, 83, 101}
+	randomSpread := m.Spread(randomSeeds, 800, randx.New(8))
+	if greedySpread <= randomSpread {
+		t.Errorf("greedy seeds spread %v not above random %v", greedySpread, randomSpread)
+	}
+}
+
+func TestTopKSeedsEdgeCases(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(30, 2, randx.New(9))
+	c := Build(g, Params{Seed: 10})
+	if sel := c.TopKSeeds(0); len(sel.Seeds) != 0 {
+		t.Errorf("k=0 selected %d seeds", len(sel.Seeds))
+	}
+	sel := c.TopKSeeds(1000)
+	if len(sel.Seeds) > g.N() {
+		t.Errorf("selected more seeds than workers: %d", len(sel.Seeds))
+	}
+	// Empty collection.
+	empty := Build(socialgraph.MustNew(0, nil), Params{Seed: 1})
+	if sel := empty.TopKSeeds(3); len(sel.Seeds) != 0 {
+		t.Errorf("empty graph selected seeds")
+	}
+}
+
+func TestTopKSeedsDeterministic(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(70, 2, randx.New(11))
+	c := Build(g, Params{Seed: 12})
+	a := c.TopKSeeds(6)
+	b := c.TopKSeeds(6)
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatal("seed selection nondeterministic")
+		}
+	}
+}

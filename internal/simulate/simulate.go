@@ -1,0 +1,204 @@
+// Package simulate runs a streaming spatial-crowdsourcing platform on
+// top of a trained DITA framework: multiple assignment instants per day,
+// where — per the paper's protocol — a worker stays online until
+// assigned a task, and an unassigned task remains available until it
+// expires (s.p + s.ϕ). Each instant the platform snapshots the currently
+// available workers and tasks, runs an assignment algorithm, retires the
+// matched pairs, and accumulates platform-level metrics.
+//
+// This is the bridge between the paper's single-instance formulation
+// (internal/assign answers one instant) and what an operator would run
+// in production: a loop of instants with carry-over state.
+package simulate
+
+import (
+	"fmt"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/geo"
+	"dita/internal/influence"
+	"dita/internal/model"
+)
+
+// ArrivingWorker is a worker joining the platform at a given time.
+type ArrivingWorker struct {
+	User   model.WorkerID
+	Loc    geo.Point
+	Radius float64
+	At     float64 // arrival time, hours
+}
+
+// ArrivingTask is a task published at a given time.
+type ArrivingTask struct {
+	Loc        geo.Point
+	Publish    float64
+	Valid      float64
+	Categories []model.CategoryID
+	Venue      model.VenueID
+}
+
+// Config drives a simulation run.
+type Config struct {
+	// Algorithm used at every instant.
+	Algorithm assign.Algorithm
+	// Components is the influence mask (influence.All for the full model).
+	Components influence.Components
+	// Step is the interval between assignment instants in hours.
+	Step float64
+	// Horizon is the simulated duration in hours, starting at Start.
+	Start, Horizon float64
+	// Seed feeds the per-instant influence preparation.
+	Seed uint64
+}
+
+// InstantResult records one assignment instant.
+type InstantResult struct {
+	At            float64
+	OnlineWorkers int
+	OpenTasks     int
+	Metrics       core.Metrics
+}
+
+// Result aggregates a whole run.
+type Result struct {
+	Instants      []InstantResult
+	TotalAssigned int
+	// ExpiredTasks counts tasks that left the pool unserved.
+	ExpiredTasks int
+	// CompletionRate = assigned / (assigned + expired); 0 when no task
+	// ever appeared.
+	CompletionRate float64
+}
+
+// Platform is the carry-over state between instants.
+type Platform struct {
+	fw      *core.Framework
+	cfg     Config
+	workers []model.Worker // online, not yet assigned
+	tasks   []model.Task   // published, unexpired, unassigned
+	nextTID model.TaskID
+}
+
+// New returns an empty platform bound to a trained framework.
+func New(fw *core.Framework, cfg Config) (*Platform, error) {
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("simulate: non-positive step %v", cfg.Step)
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("simulate: negative horizon %v", cfg.Horizon)
+	}
+	if cfg.Components == 0 {
+		cfg.Components = influence.All
+	}
+	return &Platform{fw: fw, cfg: cfg}, nil
+}
+
+// Run executes the instant loop over the arrival streams (each ordered
+// by time) and returns the aggregated result.
+func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result, error) {
+	res := &Result{}
+	wi, ti := 0, 0
+	end := p.cfg.Start + p.cfg.Horizon
+	for now := p.cfg.Start; now <= end; now += p.cfg.Step {
+		// Admit arrivals up to this instant.
+		for wi < len(workers) && workers[wi].At <= now {
+			a := workers[wi]
+			p.workers = append(p.workers, model.Worker{
+				User: a.User, Loc: a.Loc, Radius: a.Radius,
+			})
+			wi++
+		}
+		for ti < len(tasks) && tasks[ti].Publish <= now {
+			a := tasks[ti]
+			p.tasks = append(p.tasks, model.Task{
+				ID: p.nextTID, Loc: a.Loc, Publish: a.Publish,
+				Valid: a.Valid, Categories: a.Categories, Venue: a.Venue,
+			})
+			p.nextTID++
+			ti++
+		}
+		// Expire stale tasks.
+		kept := p.tasks[:0]
+		for _, t := range p.tasks {
+			if t.Expiry() < now {
+				res.ExpiredTasks++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		p.tasks = kept
+
+		if len(p.workers) == 0 || len(p.tasks) == 0 {
+			res.Instants = append(res.Instants, InstantResult{
+				At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
+			})
+			continue
+		}
+
+		inst := p.instance(now)
+		ev := p.fw.Prepare(inst, p.cfg.Components, p.cfg.Seed+uint64(now*64))
+		set, m := p.fw.AssignPrepared(inst, ev, p.cfg.Algorithm, nil)
+		res.Instants = append(res.Instants, InstantResult{
+			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks), Metrics: m,
+		})
+		res.TotalAssigned += set.Len()
+		p.retire(inst, set)
+	}
+	// Tasks still open at the horizon that can never be served count as
+	// neither assigned nor expired; only actual expiries count against
+	// the completion rate.
+	if total := res.TotalAssigned + res.ExpiredTasks; total > 0 {
+		res.CompletionRate = float64(res.TotalAssigned) / float64(total)
+	}
+	return res, nil
+}
+
+// instance materializes the current pool as a model.Instance with dense
+// instance-local ids.
+func (p *Platform) instance(now float64) *model.Instance {
+	inst := &model.Instance{Now: now}
+	inst.Workers = make([]model.Worker, len(p.workers))
+	for i, w := range p.workers {
+		w.ID = model.WorkerID(i)
+		inst.Workers[i] = w
+	}
+	inst.Tasks = make([]model.Task, len(p.tasks))
+	copy(inst.Tasks, p.tasks)
+	for i := range inst.Tasks {
+		inst.Tasks[i].ID = model.TaskID(i)
+	}
+	return inst
+}
+
+// retire removes assigned workers and tasks from the pool (workers go
+// offline once assigned, tasks are served once).
+func (p *Platform) retire(inst *model.Instance, set *model.AssignmentSet) {
+	usedW := make(map[int]bool, set.Len())
+	usedT := make(map[int]bool, set.Len())
+	for _, pr := range set.Pairs {
+		usedW[int(pr.Worker)] = true
+		usedT[int(pr.Task)] = true
+	}
+	keptW := p.workers[:0]
+	for i, w := range p.workers {
+		if !usedW[i] {
+			keptW = append(keptW, w)
+		}
+	}
+	p.workers = keptW
+	keptT := p.tasks[:0]
+	for i, t := range p.tasks {
+		if !usedT[i] {
+			keptT = append(keptT, t)
+		}
+	}
+	p.tasks = keptT
+}
+
+// Online returns the number of currently online (unassigned) workers.
+func (p *Platform) Online() int { return len(p.workers) }
+
+// Open returns the number of currently open (unassigned, unexpired)
+// tasks.
+func (p *Platform) Open() int { return len(p.tasks) }

@@ -1,0 +1,213 @@
+package simulate
+
+import (
+	"testing"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/geo"
+	"dita/internal/lda"
+	"dita/internal/model"
+	"dita/internal/randx"
+)
+
+func testFramework(t *testing.T) (*core.Framework, *dataset.Data) {
+	t.Helper()
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 150
+	p.NumVenues = 200
+	p.Days = 6
+	p.Seed = 21
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 5 * 24.0
+	docs, vocab := data.Documents(cutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, core.Config{LDA: lda.Config{Topics: 8, TrainIters: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, data
+}
+
+// streams builds worker/task arrival streams over one simulated day.
+func streams(data *dataset.Data, n int, seed uint64) ([]ArrivingWorker, []ArrivingTask) {
+	rng := randx.New(seed)
+	var ws []ArrivingWorker
+	var ts []ArrivingTask
+	for i := 0; i < n; i++ {
+		u := model.WorkerID(rng.Intn(data.Params.NumUsers))
+		ws = append(ws, ArrivingWorker{
+			User:   u,
+			Loc:    data.Homes[u],
+			Radius: 25,
+			At:     120 + rng.Float64()*12,
+		})
+		v := data.Venues[rng.Intn(len(data.Venues))]
+		ts = append(ts, ArrivingTask{
+			Loc: v.Loc, Publish: 120 + rng.Float64()*12, Valid: 3 + rng.Float64()*3,
+			Categories: v.Categories, Venue: v.ID,
+		})
+	}
+	sortByAt(ws)
+	sortByPublish(ts)
+	return ws, ts
+}
+
+func sortByAt(ws []ArrivingWorker) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].At < ws[j-1].At; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+func sortByPublish(ts []ArrivingTask) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Publish < ts[j-1].Publish; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	fw, _ := testFramework(t)
+	if _, err := New(fw, Config{Step: 0}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := New(fw, Config{Step: 1, Horizon: -1}); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestRunAssignsAndRetires(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 40, 1)
+	p, err := New(fw, Config{Algorithm: assign.IA, Step: 2, Start: 120, Horizon: 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(ws, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned == 0 {
+		t.Fatal("streaming run assigned nothing")
+	}
+	if res.TotalAssigned > 40 {
+		t.Fatalf("assigned %d > 40 offered tasks", res.TotalAssigned)
+	}
+	if len(res.Instants) == 0 {
+		t.Fatal("no instants recorded")
+	}
+	// Completion accounting is consistent.
+	if res.CompletionRate < 0 || res.CompletionRate > 1 {
+		t.Errorf("completion rate %v", res.CompletionRate)
+	}
+	// Workers go offline once assigned: online count at the end is the
+	// arrivals minus total assigned (no worker re-enters).
+	if got := p.Online(); got != len(ws)-res.TotalAssigned {
+		t.Errorf("online %d, want %d", got, len(ws)-res.TotalAssigned)
+	}
+}
+
+func TestTasksExpireUnserved(t *testing.T) {
+	fw, _ := testFramework(t)
+	// One task with no feasible worker ever: it must expire, not linger.
+	p, err := New(fw, Config{Algorithm: assign.IA, Step: 1, Start: 0, Horizon: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []ArrivingTask{{Loc: geo.Point{X: 1, Y: 1}, Publish: 0, Valid: 2, Venue: 1}}
+	res, err := p.Run(nil, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredTasks != 1 {
+		t.Errorf("expired %d, want 1", res.ExpiredTasks)
+	}
+	if res.TotalAssigned != 0 || res.CompletionRate != 0 {
+		t.Errorf("assigned %d rate %v on an unservable stream", res.TotalAssigned, res.CompletionRate)
+	}
+	if p.Open() != 0 {
+		t.Errorf("expired task still open")
+	}
+}
+
+func TestLaterArrivalsServedByLaterInstants(t *testing.T) {
+	fw, data := testFramework(t)
+	// A worker arriving at hour 126 cannot serve a task expiring at 124,
+	// but can serve one expiring at 130.
+	u := model.WorkerID(3)
+	ws := []ArrivingWorker{{User: u, Loc: data.Homes[u], Radius: 1000, At: 126}}
+	ts := []ArrivingTask{
+		{Loc: data.Homes[u], Publish: 120, Valid: 4, Venue: 1},  // expires 124
+		{Loc: data.Homes[u], Publish: 120, Valid: 10, Venue: 2}, // expires 130
+	}
+	p, err := New(fw, Config{Algorithm: assign.MTA, Step: 1, Start: 120, Horizon: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(ws, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned != 1 {
+		t.Fatalf("assigned %d, want exactly 1", res.TotalAssigned)
+	}
+	if res.ExpiredTasks != 1 {
+		t.Fatalf("expired %d, want 1", res.ExpiredTasks)
+	}
+	if res.CompletionRate != 0.5 {
+		t.Errorf("completion rate %v, want 0.5", res.CompletionRate)
+	}
+}
+
+func TestSmallerStepServesAtLeastAsWell(t *testing.T) {
+	// Assigning more frequently can only help completion (tasks get
+	// matched before expiring).
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 30, 9)
+	run := func(step float64) *Result {
+		p, err := New(fw, Config{Algorithm: assign.IA, Step: step, Start: 120, Horizon: 14, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fine := run(1)
+	coarse := run(7)
+	if fine.TotalAssigned < coarse.TotalAssigned {
+		t.Errorf("finer stepping assigned %d < coarse %d", fine.TotalAssigned, coarse.TotalAssigned)
+	}
+}
+
+func TestAllAlgorithmsRunStreaming(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 25, 4)
+	for _, alg := range assign.Algorithms {
+		p, err := New(fw, Config{Algorithm: alg, Step: 3, Start: 120, Horizon: 12, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.TotalAssigned == 0 {
+			t.Errorf("%v assigned nothing in streaming mode", alg)
+		}
+	}
+}
