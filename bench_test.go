@@ -259,3 +259,24 @@ func BenchmarkFig16_RadiusFS(b *testing.B) {
 		return r.CompareRadius(experiments.RadiusSweep)
 	})
 }
+
+// BenchmarkSweepParallelism compares one full comparison sweep run
+// sequentially against the default all-cores fan-out; the rows are
+// identical, only wall clock differs.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"p=1", 1}, {"p=auto", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			r := *getRunner(b, "BK")
+			r.P.Parallelism = bc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.CompareTasks(benchTaskSweep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,26 +5,43 @@
 // Usage:
 //
 //	dita-bench [-datasets bk,fs] [-figures all|5,9,15] [-scale full|quick]
-//	           [-csv dir] [-days n]
+//	           [-csv dir] [-days n] [-parallel n] [-rrrbench file.json]
 //
 // A full run with -scale full uses Table II defaults (|S|=1500, |W|=1200,
 // ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
 // quick shrinks instance sizes ~5× for a fast smoke pass.
+//
+// -parallel bounds the worker pool used for RRR sampling and the
+// (day × sweep-value) fan-out; 0 (the default) means all cores. Every
+// figure's series is bit-identical for every setting — only the CPU(ms)
+// column, which times each assignment's own wall clock, moves.
+//
+// -rrrbench skips the figures and instead measures rrr.Build at
+// parallelism 1, 2 and GOMAXPROCS, writing a machine-readable JSON
+// report (ns/op, allocs/op, sets/sec per point) so successive PRs have
+// a comparable perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"slices"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/experiments"
+	"dita/internal/randx"
+	"dita/internal/rrr"
+	"dita/internal/socialgraph"
 )
 
 func main() {
@@ -36,8 +53,17 @@ func main() {
 		csvDir       = flag.String("csv", "", "directory to also write per-figure CSV files")
 		days         = flag.Int("days", 0, "override the number of evaluation days")
 		seed         = flag.Uint64("seed", 42, "experiment seed")
+		par          = flag.Int("parallel", 0, "worker pool bound for sampling and sweeps (0 = all cores)")
+		rrrBench     = flag.String("rrrbench", "", "write an rrr.Build scaling report to this JSON file and exit")
 	)
 	flag.Parse()
+
+	if *rrrBench != "" {
+		if err := writeRRRBench(*rrrBench); err != nil {
+			log.Fatalf("rrrbench: %v", err)
+		}
+		return
+	}
 
 	wanted := map[int]bool{}
 	if *figuresFlag == "all" {
@@ -65,11 +91,11 @@ func main() {
 		default:
 			log.Fatalf("unknown dataset %q (want bk or fs)", name)
 		}
-		runDataset(dp, wanted, *scale, *csvDir, *days, *seed)
+		runDataset(dp, wanted, *scale, *csvDir, *days, *seed, *par)
 	}
 }
 
-func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64) {
+func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64, par int) {
 	isBK := dp.Name == "BK"
 	// Figures on this dataset: odd numbers are BK, even are FS, except
 	// the ablation figures 5-8 which the paper shows for both (panels a
@@ -93,6 +119,7 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 		workerSweep = []int{80, 160, 240, 320, 400}
 	}
 	params.Seed = seed
+	params.Parallelism = par
 	if daysOverride > 0 {
 		params.Days = params.Days[:0]
 		last := dp.Days - 1
@@ -112,7 +139,9 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 		data.NumCheckIns(), data.Graph.M(), time.Since(start).Seconds())
 
 	start = time.Now()
-	runner, err := experiments.NewRunner(data, core.Config{TopWillingnessLocations: 8}, params)
+	cfg := core.Config{TopWillingnessLocations: 8}
+	cfg.RPO.Parallelism = par
+	runner, err := experiments.NewRunner(data, cfg, params)
 	if err != nil {
 		log.Fatalf("train %s: %v", dp.Name, err)
 	}
@@ -184,4 +213,72 @@ func writeCSV(dir, name string, res *experiments.Result) error {
 		return err
 	}
 	return f.Close()
+}
+
+// rrrBenchPoint is one scaling measurement of rrr.Build.
+type rrrBenchPoint struct {
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Sets        int     `json:"sets"`
+	SetsPerSec  float64 `json:"sets_per_sec"`
+}
+
+// rrrBenchReport is the machine-readable perf trajectory record
+// successive PRs compare against.
+type rrrBenchReport struct {
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	GraphNodes int             `json:"graph_nodes"`
+	GraphEdges int             `json:"graph_edges"`
+	Seed       uint64          `json:"seed"`
+	Points     []rrrBenchPoint `json:"points"`
+}
+
+// writeRRRBench measures rrr.Build on a paper-scale graph at
+// parallelism 1, 2 and GOMAXPROCS and writes the report as JSON. The
+// three collections are bit-identical (same seed), so the points
+// isolate pure scheduling gains.
+func writeRRRBench(path string) error {
+	const benchSeed = 1
+	g := socialgraph.GeneratePreferentialAttachment(2400, 3, randx.New(1))
+	report := rrrBenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GraphNodes: g.N(),
+		GraphEdges: g.M(),
+		Seed:       benchSeed,
+	}
+	pars := []int{1, 2, runtime.GOMAXPROCS(0)}
+	slices.Sort(pars)
+	pars = slices.Compact(pars)
+	for _, p := range pars {
+		sets := 0
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := rrr.Build(g, rrr.Params{Seed: benchSeed, Parallelism: p})
+				sets = c.NumSets()
+			}
+		})
+		pt := rrrBenchPoint{
+			Parallelism: p,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Sets:        sets,
+		}
+		if res.NsPerOp() > 0 {
+			pt.SetsPerSec = float64(sets) / (float64(res.NsPerOp()) / 1e9)
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("rrr.Build parallelism=%d: %s, %d allocs/op, %.0f sets/sec\n",
+			p, time.Duration(res.NsPerOp()), res.AllocsPerOp(), pt.SetsPerSec)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

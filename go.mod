@@ -1,0 +1,3 @@
+module dita
+
+go 1.24

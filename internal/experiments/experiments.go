@@ -10,12 +10,14 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dita/internal/assign"
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/influence"
 	"dita/internal/model"
+	"dita/internal/parallel"
 )
 
 // Params carries the experimental defaults of Table II plus the
@@ -27,6 +29,17 @@ type Params struct {
 	RadiusKm   float64 // r default 25 km
 	Days       []int   // evaluation days (paper: 4 days of a month)
 	Seed       uint64
+	// Parallelism bounds how many (day × sweep-value) evaluations run
+	// concurrently in the sweep drivers; <= 0 means
+	// runtime.GOMAXPROCS(0). Every metric row is bit-identical for
+	// every setting except CPU(ms), which times each assignment's own
+	// wall clock and therefore inflates a little under core contention;
+	// set Parallelism to 1 for figure-grade CPU measurements. Each
+	// in-flight job holds its own instance, feasible-pair list and
+	// influence evaluator (the evaluator's willingness matrix is
+	// |S|×|W_G| float32), so peak memory grows linearly with the knob —
+	// lower it on wide machines with large sweeps.
+	Parallelism int
 }
 
 // Default returns the paper's Table II settings, evaluated over the last
@@ -278,32 +291,72 @@ func (a *accum) row(x float64, alg string) Row {
 	}
 }
 
-// runComparison executes the five algorithms for each sweep value and
-// averages the metrics over the evaluation days; this backs Figures 9–16.
-func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+// runSweep fans the (sweep value × day) evaluations out over a bounded
+// worker pool and reduces them into one row per (x, series) pair. The
+// jobs are independent — the trained framework is immutable and every
+// instance is rebuilt from its seed — and each writes only its own
+// slot; eval must return one Metrics per series, in series order. The
+// reduction walks the slots in the order the sequential loop used, so
+// the rows match a Parallelism-1 run exactly (CPU timing aside). A
+// failed job flips a flag that makes still-queued jobs exit
+// immediately, preserving fail-fast behavior under fan-out.
+func (r *Runner) runSweep(figure, xlabel string, xs []float64, series []string, eval func(day int, x float64) ([]core.Metrics, error)) (*Result, error) {
 	res := &Result{Figure: figure, Dataset: r.Data.Params.Name, XLabel: xlabel}
-	for _, x := range xs {
-		accums := make(map[assign.Algorithm]*accum, len(assign.Algorithms))
-		for _, alg := range assign.Algorithms {
-			accums[alg] = &accum{}
+	nd := len(r.P.Days)
+	jobs := len(xs) * nd
+	metrics := make([][]core.Metrics, jobs) // per job, per series
+	errs := make([]error, jobs)
+	var failed atomic.Bool
+	parallel.For(parallel.Workers(r.P.Parallelism), jobs, func(_, j int) {
+		if failed.Load() {
+			return
 		}
-		for _, day := range r.P.Days {
-			inst, err := makeInst(day, x)
-			if err != nil {
-				return nil, err
-			}
-			ev := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
-			pairs := assign.FeasiblePairs(inst, r.FW.Speed())
-			for _, alg := range assign.Algorithms {
-				_, m := r.FW.AssignPrepared(inst, ev, alg, pairs)
-				accums[alg].add(m)
-			}
+		ms, err := eval(r.P.Days[j%nd], xs[j/nd])
+		if err != nil {
+			errs[j] = err
+			failed.Store(true)
+			return
 		}
-		for _, alg := range assign.Algorithms {
-			res.Rows = append(res.Rows, accums[alg].row(x, alg.String()))
+		metrics[j] = ms
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for xi, x := range xs {
+		for si, name := range series {
+			a := &accum{}
+			for di := 0; di < nd; di++ {
+				a.add(metrics[xi*nd+di][si])
+			}
+			res.Rows = append(res.Rows, a.row(x, name))
 		}
 	}
 	return res, nil
+}
+
+// runComparison executes the five algorithms for each sweep value and
+// averages the metrics over the evaluation days; this backs Figures 9–16.
+func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+	series := make([]string, len(assign.Algorithms))
+	for i, alg := range assign.Algorithms {
+		series[i] = alg.String()
+	}
+	return r.runSweep(figure, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
+		inst, err := makeInst(day, x)
+		if err != nil {
+			return nil, err
+		}
+		ev := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+		ms := make([]core.Metrics, len(assign.Algorithms))
+		for ai, alg := range assign.Algorithms {
+			_, m := r.FW.AssignPrepared(inst, ev, alg, pairs)
+			ms[ai] = m
+		}
+		return ms, nil
+	})
 }
 
 // runAblation executes the IA algorithm under the four component masks
@@ -317,41 +370,36 @@ func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst fun
 // actually realizes.
 func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
 	masks := []influence.Components{influence.All, influence.WP, influence.AP, influence.AW}
-	res := &Result{Figure: figure, Dataset: r.Data.Params.Name, XLabel: xlabel}
-	for _, x := range xs {
-		accums := make(map[influence.Components]*accum, len(masks))
-		for _, mk := range masks {
-			accums[mk] = &accum{}
-		}
-		for _, day := range r.P.Days {
-			inst, err := makeInst(day, x)
-			if err != nil {
-				return nil, err
-			}
-			pairs := assign.FeasiblePairs(inst, r.FW.Speed())
-			evFull := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
-			for _, mk := range masks {
-				ev := evFull
-				if mk != influence.All {
-					ev = r.FW.Prepare(inst, mk, r.P.Seed+uint64(day))
-				}
-				set, m := r.FW.AssignPrepared(inst, ev, assign.IA, pairs)
-				// Rescore the realized assignment under the full model.
-				if set.Len() > 0 {
-					sum := 0.0
-					for _, pr := range set.Pairs {
-						sum += evFull.Influence(int(pr.Worker), int(pr.Task))
-					}
-					m.AI = sum / float64(set.Len())
-				}
-				accums[mk].add(m)
-			}
-		}
-		for _, mk := range masks {
-			res.Rows = append(res.Rows, accums[mk].row(x, mk.String()))
-		}
+	series := make([]string, len(masks))
+	for i, mk := range masks {
+		series[i] = mk.String()
 	}
-	return res, nil
+	return r.runSweep(figure, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
+		inst, err := makeInst(day, x)
+		if err != nil {
+			return nil, err
+		}
+		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+		evFull := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+		ms := make([]core.Metrics, len(masks))
+		for mi, mk := range masks {
+			ev := evFull
+			if mk != influence.All {
+				ev = r.FW.Prepare(inst, mk, r.P.Seed+uint64(day))
+			}
+			set, m := r.FW.AssignPrepared(inst, ev, assign.IA, pairs)
+			// Rescore the realized assignment under the full model.
+			if set.Len() > 0 {
+				sum := 0.0
+				for _, pr := range set.Pairs {
+					sum += evFull.Influence(int(pr.Worker), int(pr.Task))
+				}
+				m.AI = sum / float64(set.Len())
+			}
+			ms[mi] = m
+		}
+		return ms, nil
+	})
 }
 
 // Figure numbering follows the paper: ablations are Fig. 5–8; algorithm

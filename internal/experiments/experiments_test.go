@@ -270,3 +270,47 @@ func TestRunnerDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepParallelismInvariant(t *testing.T) {
+	// Sweeps fan out (day × sweep value) jobs; every metric except the
+	// wall-clock CPU column must match a sequential run exactly.
+	r := testRunner(t)
+	seq := *r
+	seq.P.Parallelism = 1
+	par := *r
+	par.P.Parallelism = 4
+
+	check := func(name string, ra, rb *Result) {
+		t.Helper()
+		if len(ra.Rows) != len(rb.Rows) {
+			t.Fatalf("%s: %d rows vs %d", name, len(ra.Rows), len(rb.Rows))
+		}
+		for i := range ra.Rows {
+			x, y := ra.Rows[i], rb.Rows[i]
+			if x.Alg != y.Alg || x.X != y.X || x.Assigned != y.Assigned || x.AI != y.AI ||
+				x.AP != y.AP || x.TravelKm != y.TravelKm {
+				t.Fatalf("%s: row %d differs\nseq: %+v\npar: %+v", name, i, x, y)
+			}
+		}
+	}
+
+	ra, err := seq.CompareTasks([]int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := par.CompareTasks([]int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("comparison", ra, rb)
+
+	aa, err := seq.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := par.AblationTasks([]int{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ablation", aa, ab)
+}

@@ -8,12 +8,24 @@
 // estimators here serve two purposes: they are the ground truth the
 // RRR-based RPO estimator is validated against in tests, and they back
 // the propagation example program.
+//
+// The Monte Carlo estimators (Spread, InformedProb) run their trials on
+// a bounded worker pool. Trials are grouped into fixed chunks, each
+// chunk drawing from a stream split off the caller's generator by chunk
+// index, so the estimates are bit-identical for every Parallelism
+// setting (see internal/parallel for the contract).
 package ic
 
 import (
+	"dita/internal/parallel"
 	"dita/internal/randx"
 	"dita/internal/socialgraph"
 )
+
+// trialChunk is the number of Monte Carlo trials per scheduling chunk.
+// Like rrr.sampleChunk it is part of the determinism contract: chunk
+// boundaries decide which split stream drives which trial.
+const trialChunk = 32
 
 // Model binds a social graph to an edge-probability function.
 type Model struct {
@@ -21,6 +33,10 @@ type Model struct {
 	// Prob returns the probability that u informs v given the edge (u,v)
 	// exists. When nil, the paper's default 1/indeg(v) is used.
 	Prob func(u, v int32) float64
+	// Parallelism bounds the worker goroutines Spread and InformedProb
+	// use; <= 0 means runtime.GOMAXPROCS(0). Every setting produces
+	// identical estimates for the same input generator state.
+	Parallelism int
 }
 
 // NewModel returns an IC model over g with the paper's default in-degree
@@ -36,36 +52,65 @@ func (m *Model) prob(u, v int32) float64 {
 	return m.G.InformProb(u, v)
 }
 
+// cascade is the reusable scratch of one diffusion: the informed marks
+// plus the touched list that lets a worker reset them in O(|cascade|)
+// instead of O(|W|) between trials.
+type cascade struct {
+	informed []bool
+	touched  []int32
+	frontier []int32
+	next     []int32
+}
+
+func newCascade(n int) *cascade {
+	return &cascade{informed: make([]bool, n)}
+}
+
+// run executes one IC diffusion from seeds, leaving the informed workers
+// marked in c.informed and listed in c.touched. Call clear() before the
+// next trial.
+func (c *cascade) run(m *Model, seeds []int32, rng *randx.Rand) {
+	c.touched = c.touched[:0]
+	c.frontier = c.frontier[:0]
+	for _, s := range seeds {
+		if !c.informed[s] {
+			c.informed[s] = true
+			c.touched = append(c.touched, s)
+			c.frontier = append(c.frontier, s)
+		}
+	}
+	for len(c.frontier) > 0 {
+		c.next = c.next[:0]
+		for _, u := range c.frontier {
+			for _, v := range m.G.Out(u) {
+				if c.informed[v] {
+					continue
+				}
+				if rng.Bool(m.prob(u, v)) {
+					c.informed[v] = true
+					c.touched = append(c.touched, v)
+					c.next = append(c.next, v)
+				}
+			}
+		}
+		c.frontier, c.next = c.next, c.frontier
+	}
+}
+
+func (c *cascade) clear() {
+	for _, v := range c.touched {
+		c.informed[v] = false
+	}
+}
+
 // Simulate runs one IC diffusion from the seed set and returns the set of
 // informed workers as a boolean slice of length G.N(). Seeds are informed
 // at iteration zero; propagation proceeds in rounds until no new worker is
 // informed, exactly as Section III-C1 describes.
 func (m *Model) Simulate(seeds []int32, rng *randx.Rand) []bool {
-	informed := make([]bool, m.G.N())
-	frontier := make([]int32, 0, len(seeds))
-	for _, s := range seeds {
-		if !informed[s] {
-			informed[s] = true
-			frontier = append(frontier, s)
-		}
-	}
-	var next []int32
-	for len(frontier) > 0 {
-		next = next[:0]
-		for _, u := range frontier {
-			for _, v := range m.G.Out(u) {
-				if informed[v] {
-					continue
-				}
-				if rng.Bool(m.prob(u, v)) {
-					informed[v] = true
-					next = append(next, v)
-				}
-			}
-		}
-		frontier, next = next, frontier
-	}
-	return informed
+	c := newCascade(m.G.N())
+	c.run(m, seeds, rng)
+	return c.informed
 }
 
 // SimulateTrace runs one diffusion and returns, for every worker, the
@@ -108,14 +153,30 @@ func (m *Model) Spread(seeds []int32, trials int, rng *randx.Rand) float64 {
 	if trials <= 0 {
 		return 0
 	}
-	total := 0
-	for t := 0; t < trials; t++ {
-		informed := m.Simulate(seeds, rng)
-		for _, b := range informed {
-			if b {
-				total++
-			}
+	workers := parallel.Workers(m.Parallelism)
+	chunks := parallel.NumChunks(trials, trialChunk)
+	rngs := make([]randx.Rand, chunks)
+	for c := range rngs {
+		rng.SplitInto(uint64(c), &rngs[c])
+	}
+	scratch := make([]*cascade, workers)
+	totals := make([]int64, workers)
+	parallel.ForChunks(workers, trials, trialChunk, func(worker, chunk, lo, hi int) {
+		sc := scratch[worker]
+		if sc == nil {
+			sc = newCascade(m.G.N())
+			scratch[worker] = sc
 		}
+		crng := &rngs[chunk]
+		for t := lo; t < hi; t++ {
+			sc.run(m, seeds, crng)
+			totals[worker] += int64(len(sc.touched))
+			sc.clear()
+		}
+	})
+	var total int64
+	for _, t := range totals {
+		total += t
 	}
 	return float64(total) / float64(trials)
 }
@@ -125,20 +186,50 @@ func (m *Model) Spread(seeds []int32, trials int, rng *randx.Rand) float64 {
 // Monte Carlo trials. This is the ground-truth counterpart of the RPO
 // estimator in internal/rrr.
 func (m *Model) InformedProb(src int32, trials int, rng *randx.Rand) []float64 {
-	counts := make([]int, m.G.N())
-	for t := 0; t < trials; t++ {
-		informed := m.Simulate([]int32{src}, rng)
-		for i, b := range informed {
-			if b {
-				counts[i]++
-			}
-		}
-	}
-	probs := make([]float64, m.G.N())
-	if trials == 0 {
+	n := m.G.N()
+	probs := make([]float64, n)
+	if trials <= 0 {
 		return probs
 	}
-	for i, c := range counts {
+	workers := parallel.Workers(m.Parallelism)
+	chunks := parallel.NumChunks(trials, trialChunk)
+	rngs := make([]randx.Rand, chunks)
+	for c := range rngs {
+		rng.SplitInto(uint64(c), &rngs[c])
+	}
+	scratch := make([]*cascade, workers)
+	counts := make([][]int32, workers)
+	seeds := []int32{src}
+	parallel.ForChunks(workers, trials, trialChunk, func(worker, chunk, lo, hi int) {
+		sc := scratch[worker]
+		if sc == nil {
+			sc = newCascade(n)
+			scratch[worker] = sc
+			counts[worker] = make([]int32, n)
+		}
+		cnt := counts[worker]
+		crng := &rngs[chunk]
+		for t := lo; t < hi; t++ {
+			sc.run(m, seeds, crng)
+			for _, v := range sc.touched {
+				cnt[v]++
+			}
+			sc.clear()
+		}
+	})
+	// Merge the per-worker tallies as integers first: integer addition
+	// commutes, so the result is independent of which worker ran which
+	// chunk; only then convert to probabilities.
+	total := make([]int64, n)
+	for _, cnt := range counts {
+		if cnt == nil {
+			continue
+		}
+		for i, c := range cnt {
+			total[i] += int64(c)
+		}
+	}
+	for i, c := range total {
 		probs[i] = float64(c) / float64(trials)
 	}
 	return probs

@@ -30,3 +30,22 @@ func BenchmarkInformedProb(b *testing.B) {
 		m.InformedProb(int32(i%g.N()), 1000, rng)
 	}
 }
+
+// BenchmarkInformedProbParallelism shows the Monte Carlo ground-truth
+// estimator scaling over the worker pool (4000 trials, one source).
+func BenchmarkInformedProbParallelism(b *testing.B) {
+	g := socialgraph.GeneratePreferentialAttachment(600, 3, randx.New(1))
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"p=1", 1}, {"p=2", 2}, {"p=auto", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			m := &Model{G: g, Parallelism: bc.par}
+			rng := randx.New(2)
+			for i := 0; i < b.N; i++ {
+				m.InformedProb(int32(i%g.N()), 4000, rng)
+			}
+		})
+	}
+}

@@ -134,3 +134,31 @@ func TestSpreadZeroTrials(t *testing.T) {
 		t.Errorf("Spread with 0 trials = %v", got)
 	}
 }
+
+func TestInformedProbParallelismInvariant(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(80, 2, randx.New(11))
+	base := &Model{G: g, Parallelism: 1}
+	ref := base.InformedProb(5, 2000, randx.New(12))
+	for _, par := range []int{2, 4, 8} {
+		m := &Model{G: g, Parallelism: par}
+		got := m.InformedProb(5, 2000, randx.New(12))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("parallelism %d: P(%d) = %v, sequential %v", par, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSpreadParallelismInvariant(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(80, 2, randx.New(13))
+	seeds := []int32{0, 3, 9}
+	base := &Model{G: g, Parallelism: 1}
+	ref := base.Spread(seeds, 1500, randx.New(14))
+	for _, par := range []int{2, 4, 8} {
+		m := &Model{G: g, Parallelism: par}
+		if got := m.Spread(seeds, 1500, randx.New(14)); got != ref {
+			t.Fatalf("parallelism %d: spread %v, sequential %v", par, got, ref)
+		}
+	}
+}

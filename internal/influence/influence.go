@@ -15,8 +15,6 @@
 package influence
 
 import (
-	"sort"
-
 	"dita/internal/lda"
 	"dita/internal/mobility"
 	"dita/internal/model"
@@ -255,17 +253,14 @@ func truncateModel(wm *mobility.WorkerModel, top int) *mobility.WorkerModel {
 }
 
 func compactRoots(c *rrr.Collection, user int32) []rootCount {
-	counts := make(map[int32]int32)
-	for _, id := range c.SetIDs(user) {
-		counts[c.Root(id)]++
-	}
-	out := make([]rootCount, 0, len(counts))
-	for r, n := range counts {
-		out = append(out, rootCount{root: r, count: n})
-	}
-	// Sort so float summation order — and therefore every influence
+	// RootCounts returns (root, multiplicity) pairs already sorted by
+	// root id, so float summation order — and therefore every influence
 	// value — is deterministic run to run.
-	sort.Slice(out, func(i, j int) bool { return out[i].root < out[j].root })
+	roots, ns := c.RootCounts(user)
+	out := make([]rootCount, len(roots))
+	for i := range roots {
+		out[i] = rootCount{root: roots[i], count: ns[i]}
+	}
 	return out
 }
 

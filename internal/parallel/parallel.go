@@ -1,0 +1,91 @@
+// Package parallel provides the bounded worker pool and deterministic
+// chunk scheduling shared by the repository's hot paths (RRR-set
+// sampling, IC Monte Carlo, experiment sweeps).
+//
+// The determinism contract every caller relies on: work is partitioned
+// into chunks with boundaries that depend only on the item count, each
+// chunk's randomness comes from a stream derived from the chunk index
+// (not from the goroutine that happens to run it), and each chunk
+// writes only to chunk-indexed state. Under that discipline the result
+// is bit-identical for every worker count, including the inline
+// single-worker path — `Parallelism: 1` and `Parallelism: N` runs can
+// be diffed byte for byte.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob: values > 0 are used as given,
+// anything else means runtime.GOMAXPROCS(0) (all available cores).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(worker, i) for every i in [0, n), distributing items over
+// at most `workers` goroutines. Items are claimed from an atomic
+// counter, so fn must be safe for concurrent invocation and must write
+// only to i-indexed state for the overall result to be deterministic.
+// The worker index, in [0, min(workers, n)), lets callers keep
+// per-worker scratch buffers. When workers <= 1 (or there is only one
+// item) everything runs inline on worker 0 with no goroutines and no
+// synchronization.
+func For(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// NumChunks returns how many size-`size` chunks cover n items.
+func NumChunks(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// ForChunks partitions [0, n) into contiguous chunks of `size` items
+// (the last chunk may be short) and runs fn(worker, chunk, lo, hi) for
+// each, scheduling chunks over at most `workers` goroutines. Chunk
+// boundaries depend only on n and size, never on the worker count.
+func ForChunks(workers, n, size int, fn func(worker, chunk, lo, hi int)) {
+	chunks := NumChunks(n, size)
+	For(workers, chunks, func(worker, c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(worker, c, lo, hi)
+	})
+}

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolvesKnob(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-2); got != want {
+		t.Errorf("Workers(-2) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		var visits [n]atomic.Int32
+		For(workers, n, func(_, i int) {
+			visits[i].Add(1)
+		})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForWorkerIndexBounded(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	For(workers, n, func(worker, _ int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d invocations saw an out-of-range worker index", bad.Load())
+	}
+}
+
+func TestForEmptyAndInline(t *testing.T) {
+	calls := 0
+	For(4, 0, func(_, _ int) { calls++ })
+	if calls != 0 {
+		t.Errorf("For with n=0 made %d calls", calls)
+	}
+	// Single worker runs inline and in order.
+	var order []int
+	For(1, 5, func(worker, i int) {
+		if worker != 0 {
+			t.Errorf("inline path reported worker %d", worker)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v not ascending", order)
+		}
+	}
+}
+
+func TestForChunksCoverRange(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		const size = 64
+		covered := make([]atomic.Int32, n)
+		var chunksSeen atomic.Int32
+		ForChunks(4, n, size, func(_, c, lo, hi int) {
+			chunksSeen.Add(1)
+			if lo != c*size {
+				t.Errorf("chunk %d lo = %d", c, lo)
+			}
+			if hi-lo > size || hi > n || lo >= hi {
+				t.Errorf("chunk %d bounds [%d,%d) invalid for n=%d", c, lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		if got, want := int(chunksSeen.Load()), NumChunks(n, size); got != want {
+			t.Errorf("n=%d: %d chunks ran, want %d", n, got, want)
+		}
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, covered[i].Load())
+			}
+		}
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 64, 0}, {1, 64, 1}, {64, 64, 1}, {65, 64, 2}, {128, 64, 2}, {10, 0, 0},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.size); got != c.want {
+			t.Errorf("NumChunks(%d,%d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+// TestForChunkIndexedWrites exercises the pool under the race detector
+// with the same write discipline the hot paths use: every chunk writes
+// only to chunk-indexed slots.
+func TestForChunkIndexedWrites(t *testing.T) {
+	const n = 5000
+	out := make([]int, n)
+	For(8, n, func(_, i int) {
+		out[i] = i * i
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

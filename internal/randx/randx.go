@@ -21,6 +21,13 @@ type Rand struct {
 // 64-bit value (including zero) to a full-entropy internal state.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r from seed exactly as New does, letting callers
+// recycle generator values instead of allocating fresh ones.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -29,7 +36,6 @@ func New(seed uint64) *Rand {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		r.s[i] = z ^ (z >> 31)
 	}
-	return r
 }
 
 // Split returns a new generator derived deterministically from r's current
@@ -37,6 +43,13 @@ func New(seed uint64) *Rand {
 // without correlating their draws.
 func (r *Rand) Split(label uint64) *Rand {
 	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// SplitInto reseeds dst with the same stream Split(label) would return,
+// without allocating. The parallel samplers use it to derive one stream
+// per scheduling chunk from a pooled generator array.
+func (r *Rand) SplitInto(label uint64, dst *Rand) {
+	dst.Reseed(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

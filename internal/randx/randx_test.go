@@ -298,3 +298,30 @@ func TestShuffle(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a := New(77)
+	b := New(77)
+	for label := uint64(0); label < 20; label++ {
+		want := a.Split(label)
+		var got Rand
+		b.SplitInto(label, &got)
+		for i := 0; i < 50; i++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("label %d draw %d: SplitInto %d, Split %d", label, i, g, w)
+			}
+		}
+	}
+}
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	r.Uint64()
+	r.Reseed(99)
+	want := New(99)
+	for i := 0; i < 50; i++ {
+		if g, w := r.Uint64(), want.Uint64(); g != w {
+			t.Fatalf("draw %d: Reseed %d, New %d", i, g, w)
+		}
+	}
+}

@@ -5,12 +5,18 @@
 // NR(k) (Lemma 6), the threshold-based lower bound N'R(γ) (Lemma 5), the
 // greedy informed worker (Definition 8), and the resulting worker
 // propagation estimates Ppro(ws, wi) (Equation 3).
+//
+// Sampling is parallel and deterministic: sets are generated in fixed
+// chunks of sampleChunk, each chunk driven by its own split stream of
+// the run's seed, so the collection is bit-identical for every
+// Params.Parallelism setting (see internal/parallel for the contract).
 package rrr
 
 import (
 	"math"
-	"sort"
+	"slices"
 
+	"dita/internal/parallel"
 	"dita/internal/randx"
 	"dita/internal/socialgraph"
 )
@@ -28,8 +34,14 @@ type Params struct {
 	// the cap bound the theoretical requirement.
 	MaxSets int
 	// Seed drives all sampling. Two runs with equal Params over the same
-	// graph produce identical estimates.
+	// graph produce identical estimates; the result does not depend on
+	// Parallelism.
 	Seed uint64
+	// Parallelism bounds the sampling worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0). Any setting yields a bit-identical
+	// collection because every sample chunk draws from a stream derived
+	// from its chunk index, not from the goroutine that runs it.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
@@ -44,6 +56,11 @@ func (p Params) withDefaults() Params {
 	}
 	return p
 }
+
+// sampleChunk is the number of RRR sets one scheduling chunk generates.
+// It is part of the determinism contract: changing it changes which
+// stream drives which set, and therefore the sampled collection.
+const sampleChunk = 64
 
 // Stats reports how the RPO run unfolded; the benchmark harness prints
 // them and tests assert on them.
@@ -61,16 +78,164 @@ type Stats struct {
 // Collection is a materialized family R of RRR sets over a social graph
 // plus the inverted index needed to answer propagation queries. Build it
 // once per (graph, time instance) and query propagation vectors for any
-// number of source workers.
+// number of source workers. All storage is flat CSR-style arrays, so a
+// collection is a handful of allocations regardless of |R|.
 type Collection struct {
 	g *socialgraph.Graph
 	// roots[j] is the uniformly chosen root of set j.
 	roots []int32
-	// cover is the inverted index: cover[w] lists the ids of sets that
-	// contain worker w (including sets rooted at w itself — a root
-	// trivially reaches itself).
-	cover [][]int32
-	stats Stats
+	// Forward index: the members of set j are
+	// setMembers[setOff[j]:setOff[j+1]] (the root is always a member).
+	setOff     []int32
+	setMembers []int32
+	// Inverted index: the ids of the sets containing worker w are
+	// coverIDs[coverOff[w]:coverOff[w+1]], in ascending set-id order.
+	coverOff []int32
+	coverIDs []int32
+	stats    Stats
+}
+
+// cover returns the ids of the sets containing worker w (ascending).
+func (c *Collection) cover(w int32) []int32 {
+	return c.coverIDs[c.coverOff[w]:c.coverOff[w+1]]
+}
+
+// builder accumulates RRR sets across the adaptive schedule of Build.
+// It owns one sampler per worker goroutine plus per-chunk member
+// buffers that are recycled batch to batch, so steady-state sampling
+// allocates only when the flat arrays grow.
+type builder struct {
+	g        *socialgraph.Graph
+	n        int
+	workers  int
+	samplers []*sampler
+
+	roots   []int32
+	setLen  []int32 // member count of each set, filled per chunk
+	members []int32 // flat members in set order, merged after each batch
+	// coverage[w] = number of accumulated sets containing w.
+	coverage []int32
+	// chunkBufs[c] holds chunk c's members of the current batch until
+	// the sequential merge; the underlying arrays are reused.
+	chunkBufs [][]int32
+	// rngs[c] is chunk c's stream for the current batch, reseeded in
+	// place batch to batch.
+	rngs []randx.Rand
+}
+
+func newBuilder(g *socialgraph.Graph, workers int) *builder {
+	b := &builder{
+		g:        g,
+		n:        g.N(),
+		workers:  workers,
+		samplers: make([]*sampler, workers),
+		coverage: make([]int32, g.N()),
+	}
+	for i := range b.samplers {
+		b.samplers[i] = newSampler(g)
+	}
+	return b
+}
+
+// reserve pre-sizes the per-set arrays for a target of `want` total sets
+// (the Lemma 6 / Lemma 5 requirement), so the append loops below do not
+// re-grow through intermediate capacities.
+func (b *builder) reserve(want int) {
+	if extra := want - len(b.roots); extra > 0 {
+		b.roots = slices.Grow(b.roots, extra)
+		b.setLen = slices.Grow(b.setLen, extra)
+	}
+}
+
+// addSets samples `count` additional RRR sets. Chunks of sampleChunk
+// sets are scheduled over the worker pool; chunk c of this batch draws
+// root choices and traversals from rng.Split(c), derived sequentially
+// up front so the collection does not depend on scheduling order.
+func (b *builder) addSets(count int, rng *randx.Rand) {
+	if count <= 0 {
+		return
+	}
+	base := len(b.roots)
+	b.roots = append(b.roots, make([]int32, count)...)
+	b.setLen = append(b.setLen, make([]int32, count)...)
+
+	chunks := parallel.NumChunks(count, sampleChunk)
+	if len(b.rngs) < chunks {
+		b.rngs = make([]randx.Rand, chunks)
+	}
+	for c := 0; c < chunks; c++ {
+		rng.SplitInto(uint64(c), &b.rngs[c])
+	}
+	for len(b.chunkBufs) < chunks {
+		b.chunkBufs = append(b.chunkBufs, nil)
+	}
+
+	parallel.ForChunks(b.workers, count, sampleChunk, func(worker, c, lo, hi int) {
+		smp := b.samplers[worker]
+		crng := &b.rngs[c]
+		buf := b.chunkBufs[c][:0]
+		for j := lo; j < hi; j++ {
+			root := int32(crng.Intn(b.n))
+			set := smp.sample(root, crng)
+			b.roots[base+j] = root
+			b.setLen[base+j] = int32(len(set))
+			buf = append(buf, set...)
+		}
+		b.chunkBufs[c] = buf
+	})
+
+	// Sequential merge: concatenate chunk members in chunk order (which
+	// is set order) and fold them into the coverage tally.
+	total := 0
+	for c := 0; c < chunks; c++ {
+		total += len(b.chunkBufs[c])
+	}
+	b.members = slices.Grow(b.members, total)
+	for c := 0; c < chunks; c++ {
+		b.members = append(b.members, b.chunkBufs[c]...)
+		for _, w := range b.chunkBufs[c] {
+			b.coverage[w]++
+		}
+	}
+}
+
+// reset discards every accumulated set (Algorithm 1 line 13) while
+// keeping all buffers for the next, larger batch.
+func (b *builder) reset() {
+	b.roots = b.roots[:0]
+	b.setLen = b.setLen[:0]
+	b.members = b.members[:0]
+	clear(b.coverage)
+}
+
+// finish freezes the accumulated sets into a queryable Collection,
+// building the forward offsets and the inverted CSR cover index with
+// one counting pass each.
+func (b *builder) finish(c *Collection, st Stats) {
+	numSets := len(b.roots)
+	c.roots = b.roots
+	c.setOff = make([]int32, numSets+1)
+	for j, l := range b.setLen {
+		c.setOff[j+1] = c.setOff[j] + l
+	}
+	c.setMembers = b.members
+
+	c.coverOff = make([]int32, b.n+1)
+	for w, cnt := range b.coverage {
+		c.coverOff[w+1] = c.coverOff[w] + cnt
+	}
+	c.coverIDs = make([]int32, len(b.members))
+	cursor := make([]int32, b.n)
+	copy(cursor, c.coverOff[:b.n])
+	for j := 0; j < numSets; j++ {
+		for _, w := range b.members[c.setOff[j]:c.setOff[j+1]] {
+			c.coverIDs[cursor[w]] = int32(j)
+			cursor[w]++
+		}
+	}
+
+	st.NumSets = numSets
+	c.stats = st
 }
 
 // Build runs the full RPO procedure (Algorithm 1) over g and returns the
@@ -81,13 +246,9 @@ type Collection struct {
 func Build(g *socialgraph.Graph, p Params) *Collection {
 	p = p.withDefaults()
 	n := g.N()
-	c := &Collection{g: g, cover: make([][]int32, n)}
-	if n == 0 {
-		return c
-	}
-	if n == 1 {
-		// Single worker: nothing can propagate anywhere.
-		c.stats = Stats{NumSets: 0, TargetSets: 0}
+	c := &Collection{g: g, coverOff: make([]int32, n+1)}
+	if n <= 1 {
+		// Zero or one worker: nothing can propagate anywhere.
 		return c
 	}
 	rng := randx.New(p.Seed)
@@ -101,30 +262,7 @@ func Build(g *socialgraph.Graph, p Params) *Collection {
 	lnInvLambdaStar := p.O*math.Log(W) + math.Log(log2W)
 	lnInvLambda := p.O * math.Log(W)
 
-	sampler := newSampler(g)
-	coverage := make([]int32, n) // coverage[w] = number of sets containing w
-
-	addSets := func(count int, rng *randx.Rand) {
-		for i := 0; i < count; i++ {
-			root := int32(rng.Intn(n))
-			set := sampler.sample(root, rng)
-			id := int32(len(c.roots))
-			c.roots = append(c.roots, root)
-			for _, w := range set {
-				c.cover[w] = append(c.cover[w], id)
-				coverage[w]++
-			}
-		}
-	}
-	reset := func() {
-		c.roots = c.roots[:0]
-		for i := range c.cover {
-			c.cover[i] = c.cover[i][:0]
-		}
-		for i := range coverage {
-			coverage[i] = 0
-		}
-	}
+	b := newBuilder(g, parallel.Workers(p.Parallelism))
 
 	var st Stats
 	accepted := false
@@ -139,17 +277,18 @@ func Build(g *socialgraph.Graph, p Params) *Collection {
 			want = p.MaxSets
 			st.Capped = true
 		}
-		if add := want - len(c.roots); add > 0 {
-			addSets(add, rng)
+		b.reserve(want)
+		if add := want - len(b.roots); add > 0 {
+			b.addSets(add, rng)
 		}
 		// N^opt_p = |W| · max_w f_R(w)  (greedy informed worker).
 		best, bestCov := int32(0), int32(-1)
 		for w := int32(0); w < int32(n); w++ {
-			if coverage[w] > bestCov {
-				best, bestCov = w, coverage[w]
+			if b.coverage[w] > bestCov {
+				best, bestCov = w, b.coverage[w]
 			}
 		}
-		nOptP := W * float64(bestCov) / float64(len(c.roots))
+		nOptP := W * float64(bestCov) / float64(len(b.roots))
 		gamma := (1 + epsStar) * k
 		if nOptP >= gamma {
 			// σ(w^τ_s) ≥ N^opt_p · ki/γ with probability ≥ 1−λ*.
@@ -168,7 +307,7 @@ func Build(g *socialgraph.Graph, p Params) *Collection {
 		// halve k. (A fresh batch of the larger size is generated next
 		// round; regeneration keeps the estimator's independence
 		// assumptions intact.)
-		reset()
+		b.reset()
 	}
 	if !accepted {
 		// Every test failed, meaning even σ(w^τ_s) < 2: the graph barely
@@ -183,11 +322,11 @@ func Build(g *socialgraph.Graph, p Params) *Collection {
 		want = p.MaxSets
 		st.Capped = true
 	}
-	if add := want - len(c.roots); add > 0 {
-		addSets(add, rng)
+	b.reserve(want)
+	if add := want - len(b.roots); add > 0 {
+		b.addSets(add, rng)
 	}
-	st.NumSets = len(c.roots)
-	c.stats = st
+	b.finish(c, st)
 	return c
 }
 
@@ -216,7 +355,7 @@ func (c *Collection) Propagation(ws int32) []float64 {
 		return out
 	}
 	scale := float64(n) / float64(N)
-	for _, id := range c.cover[ws] {
+	for _, id := range c.cover(ws) {
 		out[c.roots[id]] += scale
 	}
 	out[ws] = 0
@@ -230,24 +369,34 @@ func (c *Collection) Propagation(ws int32) []float64 {
 	return out
 }
 
-// rootCounts tallies how many sets rooted at each worker contain ws,
-// returned in ascending root order so float accumulation over the result
-// is deterministic.
-func (c *Collection) rootCounts(ws int32) ([]int32, []int32) {
-	counts := make(map[int32]int32, len(c.cover[ws]))
-	for _, id := range c.cover[ws] {
-		counts[c.roots[id]]++
+// RootCounts returns, for every distinct root among the sets containing
+// ws, that root and how many such sets it roots, sorted by ascending
+// root id so float accumulation over the result is deterministic. It is
+// the compact form of the cover that the influence evaluator consumes.
+func (c *Collection) RootCounts(ws int32) (roots, counts []int32) {
+	ids := c.cover(ws)
+	if len(ids) == 0 {
+		return nil, nil
 	}
-	roots := make([]int32, 0, len(counts))
-	for r := range counts {
-		roots = append(roots, r)
+	rs := make([]int32, len(ids))
+	for i, id := range ids {
+		rs[i] = c.roots[id]
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
-	ns := make([]int32, len(roots))
-	for i, r := range roots {
-		ns[i] = counts[r]
+	slices.Sort(rs)
+	// Run-length encode in place.
+	k := 0
+	counts = make([]int32, 0, len(rs))
+	for i := 0; i < len(rs); {
+		j := i
+		for j < len(rs) && rs[j] == rs[i] {
+			j++
+		}
+		rs[k] = rs[i]
+		counts = append(counts, int32(j-i))
+		k++
+		i = j
 	}
-	return roots, ns
+	return rs[:k], counts
 }
 
 // PropagationSum returns Σ_{wi ≠ ws} Ppro(ws, wi) without materializing
@@ -258,7 +407,7 @@ func (c *Collection) PropagationSum(ws int32) float64 {
 	if N == 0 {
 		return 0
 	}
-	roots, ns := c.rootCounts(ws)
+	roots, ns := c.RootCounts(ws)
 	scale := float64(c.g.N()) / float64(N)
 	sum := 0.0
 	for i, root := range roots {
@@ -282,7 +431,7 @@ func (c *Collection) InformedRange(ws int32) float64 {
 	if N == 0 {
 		return 0
 	}
-	_, ns := c.rootCounts(ws)
+	_, ns := c.RootCounts(ws)
 	scale := float64(c.g.N()) / float64(N)
 	sum := 0.0
 	for _, cnt := range ns {
@@ -297,11 +446,21 @@ func (c *Collection) InformedRange(ws int32) float64 {
 
 // CoverageCount returns how many sets contain w — |W|·f_R(w) divided by
 // |W|; exposed for tests of the greedy informed worker.
-func (c *Collection) CoverageCount(w int32) int { return len(c.cover[w]) }
+func (c *Collection) CoverageCount(w int32) int {
+	return int(c.coverOff[w+1] - c.coverOff[w])
+}
 
-// SetIDs returns the ids of the RRR sets containing worker w. The slice
-// aliases internal storage and must not be modified.
-func (c *Collection) SetIDs(w int32) []int32 { return c.cover[w] }
+// SetIDs returns the ids of the RRR sets containing worker w, in
+// ascending order. The slice aliases internal storage and must not be
+// modified.
+func (c *Collection) SetIDs(w int32) []int32 { return c.cover(w) }
+
+// SetMembers returns the members of RRR set id (the root is always
+// included). The slice aliases internal storage and must not be
+// modified.
+func (c *Collection) SetMembers(id int32) []int32 {
+	return c.setMembers[c.setOff[id]:c.setOff[id+1]]
+}
 
 // Root returns the root worker of RRR set id.
 func (c *Collection) Root(id int32) int32 { return c.roots[id] }

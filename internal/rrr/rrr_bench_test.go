@@ -58,3 +58,24 @@ func BenchmarkPropagationSum(b *testing.B) {
 		c.PropagationSum(int32(i % g.N()))
 	}
 }
+
+// BenchmarkBuildParallelism shows RPO scaling over the worker pool on a
+// paper-scale graph; "auto" is GOMAXPROCS. Output is bit-identical at
+// every setting, so the ratios are pure scheduling gains.
+func BenchmarkBuildParallelism(b *testing.B) {
+	g := socialgraph.GeneratePreferentialAttachment(2400, 3, randx.New(1))
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"p=1", 1}, {"p=2", 2}, {"p=auto", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sets := 0
+			for i := 0; i < b.N; i++ {
+				c := Build(g, Params{Seed: uint64(i), Parallelism: bc.par})
+				sets = c.NumSets()
+			}
+			b.ReportMetric(float64(sets)*float64(b.N)/b.Elapsed().Seconds(), "sets/sec")
+		})
+	}
+}

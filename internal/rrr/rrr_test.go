@@ -2,6 +2,7 @@ package rrr
 
 import (
 	"math"
+	"slices"
 	"testing"
 
 	"dita/internal/ic"
@@ -201,5 +202,93 @@ func TestParamsDefaults(t *testing.T) {
 	p := Params{}.withDefaults()
 	if p.Epsilon != 0.1 || p.O != 1 || p.MaxSets != 1<<18 {
 		t.Errorf("defaults = %+v, want ε=0.1 o=1 MaxSets=1<<18", p)
+	}
+}
+
+func TestBuildParallelismInvariant(t *testing.T) {
+	// The headline determinism contract of the parallel sampler: for a
+	// fixed Seed the collection is bit-identical at every Parallelism,
+	// including the inline sequential path.
+	g := socialgraph.GeneratePreferentialAttachment(120, 2, randx.New(21))
+	base := Build(g, Params{Seed: 22, Parallelism: 1})
+	for _, par := range []int{2, 4, 8} {
+		c := Build(g, Params{Seed: 22, Parallelism: par})
+		if c.NumSets() != base.NumSets() {
+			t.Fatalf("parallelism %d: %d sets vs sequential %d", par, c.NumSets(), base.NumSets())
+		}
+		if c.Stats() != base.Stats() {
+			t.Fatalf("parallelism %d: stats %+v vs sequential %+v", par, c.Stats(), base.Stats())
+		}
+		for j := int32(0); j < int32(c.NumSets()); j++ {
+			if c.Root(j) != base.Root(j) {
+				t.Fatalf("parallelism %d: root of set %d differs", par, j)
+			}
+			if !slices.Equal(c.SetMembers(j), base.SetMembers(j)) {
+				t.Fatalf("parallelism %d: members of set %d differ", par, j)
+			}
+		}
+		for ws := int32(0); ws < int32(g.N()); ws++ {
+			if !slices.Equal(c.SetIDs(ws), base.SetIDs(ws)) {
+				t.Fatalf("parallelism %d: cover of worker %d differs", par, ws)
+			}
+			va, vb := c.Propagation(ws), base.Propagation(ws)
+			for i := range va {
+				if va[i] != vb[i] {
+					t.Fatalf("parallelism %d: Ppro(%d,%d) = %v vs %v", par, ws, i, va[i], vb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRIndexConsistent(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(70, 2, randx.New(23))
+	c := Build(g, Params{Seed: 24, MaxSets: 2000})
+	// The inverted index must be exactly the transpose of the forward
+	// sets, with ascending ids per worker.
+	covered := make(map[int32][]int32)
+	for j := int32(0); j < int32(c.NumSets()); j++ {
+		members := c.SetMembers(j)
+		if len(members) == 0 || members[0] != c.Root(j) {
+			t.Fatalf("set %d does not lead with its root", j)
+		}
+		for _, w := range members {
+			covered[w] = append(covered[w], j)
+		}
+	}
+	for w := int32(0); w < int32(g.N()); w++ {
+		ids := c.SetIDs(w)
+		if !slices.IsSorted(ids) {
+			t.Fatalf("cover of worker %d not ascending", w)
+		}
+		if !slices.Equal(ids, covered[w]) {
+			t.Fatalf("cover of worker %d = %v, transpose says %v", w, ids, covered[w])
+		}
+		if c.CoverageCount(w) != len(ids) {
+			t.Fatalf("CoverageCount(%d) = %d, want %d", w, c.CoverageCount(w), len(ids))
+		}
+	}
+}
+
+func TestRootCountsMatchesCover(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(60, 2, randx.New(25))
+	c := Build(g, Params{Seed: 26, MaxSets: 3000})
+	for ws := int32(0); ws < int32(g.N()); ws += 4 {
+		roots, counts := c.RootCounts(ws)
+		if !slices.IsSorted(roots) {
+			t.Fatalf("RootCounts(%d) roots not sorted", ws)
+		}
+		want := make(map[int32]int32)
+		for _, id := range c.SetIDs(ws) {
+			want[c.Root(id)]++
+		}
+		if len(roots) != len(want) {
+			t.Fatalf("RootCounts(%d): %d distinct roots, want %d", ws, len(roots), len(want))
+		}
+		for i, r := range roots {
+			if counts[i] != want[r] {
+				t.Fatalf("RootCounts(%d): root %d count %d, want %d", ws, r, counts[i], want[r])
+			}
+		}
 	}
 }

@@ -32,7 +32,7 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 	covered := make([]bool, len(c.roots)) // RRR sets already covered
 	gain := make([]int, n)                // current marginal coverage per worker
 	for w := 0; w < n; w++ {
-		gain[w] = len(c.cover[w])
+		gain[w] = c.CoverageCount(int32(w))
 	}
 	totalCovered := 0
 	scale := float64(n) / float64(len(c.roots))
@@ -48,7 +48,7 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 		}
 		// Mark the sets the new seed covers and decrement the marginal
 		// gains of every other member of those sets.
-		for _, id := range c.cover[int32(best)] {
+		for _, id := range c.cover(int32(best)) {
 			if covered[id] {
 				continue
 			}
@@ -60,7 +60,7 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 		// deterministic, and k is small in practice.)
 		for w := 0; w < n; w++ {
 			cnt := 0
-			for _, id := range c.cover[int32(w)] {
+			for _, id := range c.cover(int32(w)) {
 				if !covered[id] {
 					cnt++
 				}
