@@ -11,15 +11,17 @@
 // ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
 // quick shrinks instance sizes ~5× for a fast smoke pass.
 //
-// -parallel bounds the worker pool used for RRR sampling and the
-// (day × sweep-value) fan-out; 0 (the default) means all cores. Every
-// figure's series is bit-identical for every setting — only the CPU(ms)
-// column, which times each assignment's own wall clock, moves.
+// -parallel bounds the worker pool used for the whole training phase
+// (dataset generation, LDA Gibbs, mobility fitting, RRR sampling) and
+// the (day × sweep-value) fan-out; 0 (the default) means all cores.
+// Every figure's series is bit-identical for every setting — only the
+// CPU(ms) column, which times each assignment's own wall clock, moves.
 //
-// -rrrbench skips the figures and instead measures rrr.Build at
-// parallelism 1, 2 and GOMAXPROCS, writing a machine-readable JSON
-// report (ns/op, allocs/op, sets/sec per point) so successive PRs have
-// a comparable perf trajectory.
+// -rrrbench skips the figures and instead measures rrr.Build plus the
+// training-phase hot spots (datagen, LDA, mobility) at parallelism 1, 2
+// and GOMAXPROCS, writing a machine-readable JSON report (ns/op,
+// allocs/op, sets/sec, per-phase ms per point) so successive PRs have a
+// comparable perf trajectory.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +42,8 @@ import (
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/experiments"
+	"dita/internal/lda"
+	"dita/internal/mobility"
 	"dita/internal/randx"
 	"dita/internal/rrr"
 	"dita/internal/socialgraph"
@@ -131,6 +136,7 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 	fmt.Printf("=== dataset %s: generating (%d users, %d venues, %d days, seed %d)\n",
 		dp.Name, dp.NumUsers, dp.NumVenues, dp.Days, dp.Seed)
 	start := time.Now()
+	dp.Parallelism = par
 	data, err := dataset.Generate(dp)
 	if err != nil {
 		log.Fatalf("generate %s: %v", dp.Name, err)
@@ -139,8 +145,7 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 		data.NumCheckIns(), data.Graph.M(), time.Since(start).Seconds())
 
 	start = time.Now()
-	cfg := core.Config{TopWillingnessLocations: 8}
-	cfg.RPO.Parallelism = par
+	cfg := core.Config{TopWillingnessLocations: 8, Parallelism: par}
 	runner, err := experiments.NewRunner(data, cfg, params)
 	if err != nil {
 		log.Fatalf("train %s: %v", dp.Name, err)
@@ -225,6 +230,17 @@ type rrrBenchPoint struct {
 	SetsPerSec  float64 `json:"sets_per_sec"`
 }
 
+// trainingPoint is one scaling measurement of the offline training
+// phase: wall-clock per component at a given worker-pool bound. All
+// three components are bit-identical across points (same seeds), so the
+// deltas isolate pure scheduling gains.
+type trainingPoint struct {
+	Parallelism int     `json:"parallelism"`
+	DatagenMs   float64 `json:"datagen_ms"`
+	LDAMs       float64 `json:"lda_ms"`
+	MobilityMs  float64 `json:"mobility_ms"`
+}
+
 // rrrBenchReport is the machine-readable perf trajectory record
 // successive PRs compare against.
 type rrrBenchReport struct {
@@ -234,6 +250,10 @@ type rrrBenchReport struct {
 	GraphEdges int             `json:"graph_edges"`
 	Seed       uint64          `json:"seed"`
 	Points     []rrrBenchPoint `json:"points"`
+	Training   []trainingPoint `json:"training"`
+	// ForwardIndexBytes is the retained memory Params.DropForwardIndex
+	// retires on the benchmark collection (setOff + setMembers).
+	ForwardIndexBytes int64 `json:"forward_index_bytes"`
 }
 
 // writeRRRBench measures rrr.Build on a paper-scale graph at
@@ -253,6 +273,7 @@ func writeRRRBench(path string) error {
 	pars := []int{1, 2, runtime.GOMAXPROCS(0)}
 	slices.Sort(pars)
 	pars = slices.Compact(pars)
+	var lastColl *rrr.Collection // all points build bit-identical collections
 	for _, p := range pars {
 		sets := 0
 		res := testing.Benchmark(func(b *testing.B) {
@@ -260,6 +281,7 @@ func writeRRRBench(path string) error {
 			for i := 0; i < b.N; i++ {
 				c := rrr.Build(g, rrr.Params{Seed: benchSeed, Parallelism: p})
 				sets = c.NumSets()
+				lastColl = c
 			}
 		})
 		pt := rrrBenchPoint{
@@ -276,9 +298,87 @@ func writeRRRBench(path string) error {
 		fmt.Printf("rrr.Build parallelism=%d: %s, %d allocs/op, %.0f sets/sec\n",
 			p, time.Duration(res.NsPerOp()), res.AllocsPerOp(), pt.SetsPerSec)
 	}
+	if lastColl != nil {
+		members := int64(0)
+		for w := int32(0); w < int32(g.N()); w++ {
+			members += int64(lastColl.CoverageCount(w))
+		}
+		// setMembers mirrors the inverted index entry for entry; setOff
+		// adds one offset per set plus the sentinel.
+		report.ForwardIndexBytes = 4 * (members + int64(lastColl.NumSets()) + 1)
+		fmt.Printf("DropForwardIndex would retire %.1f MiB of the collection\n",
+			float64(report.ForwardIndexBytes)/(1<<20))
+	}
+	for _, p := range pars {
+		tp, err := measureTraining(p)
+		if err != nil {
+			return err
+		}
+		report.Training = append(report.Training, tp)
+		fmt.Printf("training parallelism=%d: datagen %.0fms, lda %.0fms, mobility %.0fms\n",
+			p, tp.DatagenMs, tp.LDAMs, tp.MobilityMs)
+	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// measureTraining times the three training-phase components at one
+// worker-pool bound on a reduced Brightkite-like dataset (big enough to
+// keep every pool width busy, small enough for a bench smoke run).
+// Each component reports the minimum of several runs so the recorded
+// trajectory is not noise-dominated at the tens-of-ms scale.
+func measureTraining(par int) (trainingPoint, error) {
+	const reps = 3
+	minMs := func(f func() error) (float64, error) {
+		best := math.Inf(1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < best {
+				best = ms
+			}
+		}
+		return best, nil
+	}
+
+	dp := dataset.BrightkiteLike()
+	dp.NumUsers = 800
+	dp.NumVenues = 1000
+	dp.Days = 12
+	dp.Parallelism = par
+
+	var data *dataset.Data
+	datagenMs, err := minMs(func() (err error) {
+		data, err = dataset.Generate(dp)
+		return err
+	})
+	if err != nil {
+		return trainingPoint{}, err
+	}
+
+	cutoff := float64(dp.Days-2) * 24
+	docs, vocab := data.Documents(cutoff)
+	ldaMs, err := minMs(func() error {
+		_, err := lda.Train(docs, vocab, lda.Config{Topics: 20, TrainIters: 50, Seed: 1, Parallelism: par})
+		return err
+	})
+	if err != nil {
+		return trainingPoint{}, err
+	}
+
+	hists := data.HistoriesBefore(cutoff)
+	mobilityMs, err := minMs(func() error {
+		mobility.Fit(hists, mobility.Config{Parallelism: par})
+		return nil
+	})
+	if err != nil {
+		return trainingPoint{}, err
+	}
+
+	return trainingPoint{Parallelism: par, DatagenMs: datagenMs, LDAMs: ldaMs, MobilityMs: mobilityMs}, nil
 }

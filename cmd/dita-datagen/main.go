@@ -7,6 +7,9 @@
 //
 //	dita-datagen -preset bk -out ./data/bk
 //	dita-datagen -preset fs -out ./data/fs -users 5000 -days 60 -seed 9
+//
+// -parallel bounds the generator's worker pool (0 = all cores); the
+// written dataset is bit-identical at any setting.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		rate    = flag.Float64("rate", 0, "override check-ins per user per day")
 		cityKm  = flag.Float64("city-km", 0, "override world size in km")
 		seed    = flag.Uint64("seed", 0, "override the generator seed")
+		par     = flag.Int("parallel", 0, "generator worker pool bound (0 = all cores; output is identical at any setting)")
 		summary = flag.Bool("summary", true, "print dataset summary statistics")
 	)
 	flag.Parse()
@@ -64,6 +68,7 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p.Parallelism = *par
 
 	start := time.Now()
 	data, err := dataset.Generate(p)

@@ -35,11 +35,28 @@ type Config struct {
 	// the dense willingness matrix; 0 keeps all locations. See
 	// influence.Engine.TopLocations.
 	TopWillingnessLocations int
+	// Parallelism is the umbrella worker-pool bound for the whole
+	// training phase: when set (> 0) it is copied into every sub-config
+	// whose own Parallelism is unset. Each trainer follows the shared
+	// contract (see internal/parallel): the fitted framework is
+	// bit-identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
 	if c.SpeedKmH <= 0 {
 		c.SpeedKmH = 5
+	}
+	if c.Parallelism > 0 {
+		if c.LDA.Parallelism == 0 {
+			c.LDA.Parallelism = c.Parallelism
+		}
+		if c.Mobility.Parallelism == 0 {
+			c.Mobility.Parallelism = c.Parallelism
+		}
+		if c.RPO.Parallelism == 0 {
+			c.RPO.Parallelism = c.Parallelism
+		}
 	}
 	return c
 }
@@ -111,6 +128,13 @@ func Train(data TrainingData, cfg Config) (*Framework, error) {
 		ThetaUser:    f.theta,
 		TopLocations: cfg.TopWillingnessLocations,
 	}
+	// The stored config drops the worker-pool knobs (now consumed by the
+	// sub-trainers above): like every trained component, a Framework's
+	// identity is independent of the Parallelism it was fitted with.
+	f.cfg.Parallelism = 0
+	f.cfg.LDA.Parallelism = 0
+	f.cfg.Mobility.Parallelism = 0
+	f.cfg.RPO.Parallelism = 0
 	return f, nil
 }
 

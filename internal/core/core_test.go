@@ -9,6 +9,7 @@ import (
 	"dita/internal/influence"
 	"dita/internal/lda"
 	"dita/internal/model"
+	"dita/internal/paralleltest"
 )
 
 // testFramework trains a small framework on a generated dataset and
@@ -207,5 +208,54 @@ func TestAssignDeterministic(t *testing.T) {
 		if a.Pairs[i] != b.Pairs[i] {
 			t.Fatalf("pair %d differs", i)
 		}
+	}
+}
+
+func TestTrainParallelismInvariant(t *testing.T) {
+	// The umbrella knob drives LDA, mobility and RPO training; the whole
+	// fitted framework — stored config included, since Train drops the
+	// worker-pool knobs — must be bit-identical at any pool width.
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 150
+	p.NumVenues = 180
+	p.Days = 6
+	p.Seed = 19
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 5 * 24.0
+	docs, vocab := data.Documents(cutoff)
+	td := TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}
+	paralleltest.Invariant(t, func(par int) any {
+		fw, err := Train(td, Config{
+			LDA:         lda.Config{Topics: 8, TrainIters: 15},
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	})
+}
+
+func TestConfigParallelismFansOut(t *testing.T) {
+	c := Config{Parallelism: 3}.withDefaults()
+	if c.LDA.Parallelism != 3 || c.Mobility.Parallelism != 3 || c.RPO.Parallelism != 3 {
+		t.Errorf("umbrella knob not copied into sub-configs: %+v", c)
+	}
+	// An explicit sub-config setting wins over the umbrella.
+	c = Config{Parallelism: 3, LDA: lda.Config{Parallelism: 1}}.withDefaults()
+	if c.LDA.Parallelism != 1 {
+		t.Errorf("explicit LDA.Parallelism overridden: %d", c.LDA.Parallelism)
+	}
+	if c.Mobility.Parallelism != 3 || c.RPO.Parallelism != 3 {
+		t.Errorf("umbrella knob lost for the other components: %+v", c)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"dita/internal/geo"
 	"dita/internal/model"
+	"dita/internal/parallel"
 	"dita/internal/randx"
 	"dita/internal/socialgraph"
 )
@@ -56,6 +57,15 @@ type Params struct {
 	MoveScaleKm           float64 // Pareto scale (minimum jump), km
 
 	Seed uint64
+
+	// Parallelism bounds the generator's worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0). Venues, users and per-user trajectories are
+	// generated in fixed chunks, each driven by a stream split off the
+	// stage seed by chunk index, so the dataset is bit-identical at any
+	// setting. The knob is a runtime choice, not part of the dataset
+	// identity: it is cleared in the returned Data's Params and never
+	// serialized by Save.
+	Parallelism int
 }
 
 // BrightkiteLike returns parameters that echo Brightkite's character:
@@ -154,8 +164,15 @@ type Data struct {
 	perUser [][]int32
 }
 
+// genChunk is the number of venues (or users) one scheduling chunk
+// generates. Like lda.docChunk it is part of the determinism contract:
+// chunk boundaries decide which split stream drives which item.
+const genChunk = 64
+
 // Generate builds a dataset from the parameters. The output is a pure
-// function of Params (including Seed).
+// function of Params (including Seed) minus the Parallelism knob: the
+// venue, user and trajectory stages run in fixed chunks with per-chunk
+// streams, so any worker count produces the identical dataset.
 func Generate(p Params) (*Data, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -165,8 +182,12 @@ func Generate(p Params) (*Data, error) {
 	venueRng := root.Split(2)
 	userRng := root.Split(3)
 	moveRng := root.Split(4)
+	workers := parallel.Workers(p.Parallelism)
 
 	d := &Data{Params: p}
+	d.Params.Parallelism = 0 // runtime knob, not dataset identity
+	// Preferential attachment grows the graph edge by edge; it stays
+	// sequential (each attachment conditions on all previous degrees).
 	d.Graph = socialgraph.GeneratePreferentialAttachment(p.NumUsers, p.FriendsPerUser, graphRng)
 
 	// Cluster centers, with a margin so cluster spread stays in-world.
@@ -191,95 +212,128 @@ func Generate(p Params) (*Data, error) {
 		return lo, hi
 	}
 	groupZipf := randx.NewZipf(p.CategoryGroups, 0.7)
+	// Shared read-only CDF per group (the old code rebuilt this Zipf for
+	// every single venue).
+	inGroupZipf := make([]*randx.Zipf, p.CategoryGroups)
+	for g := range inGroupZipf {
+		lo, hi := groupSpan(g)
+		inGroupZipf[g] = randx.NewZipf(hi-lo, 0.9)
+	}
 
-	// Venues.
+	// Venues, in chunks with per-chunk streams.
 	d.Venues = make([]Venue, p.NumVenues)
 	venueLocs := make([]geo.Point, p.NumVenues)
-	for i := range d.Venues {
-		c := clusterZipf.Draw(venueRng)
-		loc := geo.Point{
-			X: clampF(centers[c].X+venueRng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
-			Y: clampF(centers[c].Y+venueRng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
-		}
-		g := groupZipf.Draw(venueRng)
-		lo, hi := groupSpan(g)
-		inGroup := randx.NewZipf(hi-lo, 0.9)
-		nCats := 1 + venueRng.Intn(p.CatsPerVenueMax)
-		seen := map[model.CategoryID]bool{}
-		var cats []model.CategoryID
-		for len(cats) < nCats {
-			cat := model.CategoryID(lo + inGroup.Draw(venueRng))
-			if !seen[cat] {
-				seen[cat] = true
-				cats = append(cats, cat)
+	vrngs := splitChunkStreams(venueRng, parallel.NumChunks(p.NumVenues, genChunk))
+	parallel.ForChunks(workers, p.NumVenues, genChunk, func(_, c, lo, hi int) {
+		rng := &vrngs[c]
+		for i := lo; i < hi; i++ {
+			cl := clusterZipf.Draw(rng)
+			loc := geo.Point{
+				X: clampF(centers[cl].X+rng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
+				Y: clampF(centers[cl].Y+rng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
 			}
+			g := groupZipf.Draw(rng)
+			gLo, _ := groupSpan(g)
+			nCats := 1 + rng.Intn(p.CatsPerVenueMax)
+			cats := make([]model.CategoryID, 0, nCats)
+			for len(cats) < nCats {
+				cat := model.CategoryID(gLo + inGroupZipf[g].Draw(rng))
+				if !containsCat(cats, cat) {
+					cats = append(cats, cat)
+				}
+			}
+			sort.Slice(cats, func(a, b int) bool { return cats[a] < cats[b] })
+			d.Venues[i] = Venue{ID: model.VenueID(i), Loc: loc, Categories: cats, Group: groupOf(cats[0])}
+			venueLocs[i] = loc
 		}
-		sort.Slice(cats, func(a, b int) bool { return cats[a] < cats[b] })
-		d.Venues[i] = Venue{ID: model.VenueID(i), Loc: loc, Categories: cats, Group: groupOf(cats[0])}
-		venueLocs[i] = loc
-	}
+	})
 	venueGrid := geo.BuildGrid(venueLocs, 8)
 
-	// Users: home location and a sparse preference over category groups.
+	// Users: home location and a sparse preference over category groups,
+	// again chunked with per-chunk streams.
 	d.Homes = make([]geo.Point, p.NumUsers)
 	prefs := make([][]float64, p.NumUsers)
-	for u := range d.Homes {
-		c := clusterZipf.Draw(userRng)
-		d.Homes[u] = geo.Point{
-			X: clampF(centers[c].X+userRng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
-			Y: clampF(centers[c].Y+userRng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
+	urngs := splitChunkStreams(userRng, parallel.NumChunks(p.NumUsers, genChunk))
+	parallel.ForChunks(workers, p.NumUsers, genChunk, func(_, c, lo, hi int) {
+		rng := &urngs[c]
+		for u := lo; u < hi; u++ {
+			cl := clusterZipf.Draw(rng)
+			d.Homes[u] = geo.Point{
+				X: clampF(centers[cl].X+rng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
+				Y: clampF(centers[cl].Y+rng.NormFloat64()*p.ClusterStd, 0, p.CityKm),
+			}
+			// Each user strongly prefers 1–3 groups; everything else gets
+			// a small floor so exploration still happens.
+			pref := make([]float64, p.CategoryGroups)
+			for g := range pref {
+				pref[g] = 0.05
+			}
+			liked := 1 + rng.Intn(3)
+			for k := 0; k < liked; k++ {
+				pref[rng.Intn(p.CategoryGroups)] += 1 + rng.Float64()
+			}
+			prefs[u] = pref
 		}
-		// Each user strongly prefers 1–3 groups; everything else gets a
-		// small floor so exploration still happens.
-		pref := make([]float64, p.CategoryGroups)
-		for g := range pref {
-			pref[g] = 0.05
-		}
-		liked := 1 + userRng.Intn(3)
-		for k := 0; k < liked; k++ {
-			pref[userRng.Intn(p.CategoryGroups)] += 1 + userRng.Float64()
-		}
-		prefs[u] = pref
-	}
+	})
 
-	// Check-in trajectories.
+	// Check-in trajectories: each chunk of users walks with its own
+	// stream into a chunk-owned buffer; the buffers are merged in chunk
+	// order before the global time sort.
 	d.perUser = make([][]int32, p.NumUsers)
-	var candBuf []int
-	for u := 0; u < p.NumUsers; u++ {
-		pos := d.Homes[u]
-		for day := 0; day < p.Days; day++ {
-			k := poisson(moveRng, p.CheckinsPerUserPerDay)
-			if k == 0 {
-				continue
-			}
-			hours := make([]float64, k)
-			for i := range hours {
-				hours[i] = 8 + moveRng.Float64()*14 // active 08:00–22:00
-			}
-			sort.Float64s(hours)
-			for i := 0; i < k; i++ {
-				jump := moveRng.Pareto(p.MoveScaleKm, p.MoveShape)
-				if jump > p.CityKm/2 {
-					jump = p.CityKm / 2
+	uchunks := parallel.NumChunks(p.NumUsers, genChunk)
+	mrngs := splitChunkStreams(moveRng, uchunks)
+	chunkCIs := make([][]model.CheckIn, uchunks)
+	candBufs := make([][]int, workers)
+	parallel.ForChunks(workers, p.NumUsers, genChunk, func(worker, c, lo, hi int) {
+		rng := &mrngs[c]
+		candBuf := &candBufs[worker]
+		var cis []model.CheckIn
+		var hours []float64
+		for u := lo; u < hi; u++ {
+			pos := d.Homes[u]
+			for day := 0; day < p.Days; day++ {
+				k := poisson(rng, p.CheckinsPerUserPerDay)
+				if k == 0 {
+					continue
 				}
-				theta := moveRng.Float64() * 2 * math.Pi
-				target := geo.Point{
-					X: clampF(pos.X+jump*math.Cos(theta), 0, p.CityKm),
-					Y: clampF(pos.Y+jump*math.Sin(theta), 0, p.CityKm),
+				hours = hours[:0]
+				for i := 0; i < k; i++ {
+					hours = append(hours, 8+rng.Float64()*14) // active 08:00–22:00
 				}
-				v := pickVenue(venueGrid, d.Venues, prefs[u], target, jump, moveRng, &candBuf)
-				arrive := float64(day)*24 + hours[i]
-				d.CheckIns = append(d.CheckIns, model.CheckIn{
-					User:       model.WorkerID(u),
-					Venue:      d.Venues[v].ID,
-					Loc:        d.Venues[v].Loc,
-					Arrive:     arrive,
-					Complete:   arrive + 0.25 + moveRng.Float64()*0.5,
-					Categories: d.Venues[v].Categories,
-				})
-				pos = d.Venues[v].Loc
+				sort.Float64s(hours)
+				for i := 0; i < k; i++ {
+					jump := rng.Pareto(p.MoveScaleKm, p.MoveShape)
+					if jump > p.CityKm/2 {
+						jump = p.CityKm / 2
+					}
+					theta := rng.Float64() * 2 * math.Pi
+					target := geo.Point{
+						X: clampF(pos.X+jump*math.Cos(theta), 0, p.CityKm),
+						Y: clampF(pos.Y+jump*math.Sin(theta), 0, p.CityKm),
+					}
+					v := pickVenue(venueGrid, d.Venues, prefs[u], target, jump, rng, candBuf)
+					arrive := float64(day)*24 + hours[i]
+					cis = append(cis, model.CheckIn{
+						User:       model.WorkerID(u),
+						Venue:      d.Venues[v].ID,
+						Loc:        d.Venues[v].Loc,
+						Arrive:     arrive,
+						Complete:   arrive + 0.25 + rng.Float64()*0.5,
+						Categories: d.Venues[v].Categories,
+					})
+					pos = d.Venues[v].Loc
+				}
 			}
 		}
+		chunkCIs[c] = cis
+	})
+	total := 0
+	for _, cis := range chunkCIs {
+		total += len(cis)
+	}
+	d.CheckIns = make([]model.CheckIn, 0, total)
+	for _, cis := range chunkCIs {
+		d.CheckIns = append(d.CheckIns, cis...)
 	}
 	sort.SliceStable(d.CheckIns, func(i, j int) bool {
 		return d.CheckIns[i].Arrive < d.CheckIns[j].Arrive
@@ -288,6 +342,26 @@ func Generate(p Params) (*Data, error) {
 		d.perUser[c.User] = append(d.perUser[c.User], int32(i))
 	}
 	return d, nil
+}
+
+// splitChunkStreams derives one independent stream per scheduling chunk
+// from the stage generator, sequentially and before any chunk runs, so
+// the streams do not depend on scheduling order.
+func splitChunkStreams(rng *randx.Rand, chunks int) []randx.Rand {
+	out := make([]randx.Rand, chunks)
+	rng.SplitStreamsInto(out)
+	return out
+}
+
+// containsCat reports whether cats already holds cat; venue category
+// lists are at most CatsPerVenueMax long, so a linear scan beats a map.
+func containsCat(cats []model.CategoryID, cat model.CategoryID) bool {
+	for _, c := range cats {
+		if c == cat {
+			return true
+		}
+	}
+	return false
 }
 
 // pickVenue selects a venue near the target point, weighted by the user's

@@ -1,6 +1,9 @@
 package dataset
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkGenerate measures full dataset synthesis at preset scale.
 func BenchmarkGenerate(b *testing.B) {
@@ -29,5 +32,23 @@ func BenchmarkSnapshot(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGenerateParallel measures chunked dataset synthesis at
+// several pool widths; the generated data is identical across
+// sub-benchmarks.
+func BenchmarkGenerateParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			p := BrightkiteLike()
+			p.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				p.Seed = uint64(i + 1)
+				if _, err := Generate(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

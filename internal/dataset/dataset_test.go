@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dita/internal/model"
+	"dita/internal/paralleltest"
 )
 
 // smallParams keeps generation fast for tests.
@@ -410,5 +411,26 @@ func TestCheckInsBeforeIsPrefix(t *testing.T) {
 	}
 	if len(before) < d.NumCheckIns() && d.CheckIns[len(before)].Arrive < cutoff {
 		t.Error("CheckInsBefore returned a short prefix")
+	}
+}
+
+func TestGenerateParallelismInvariant(t *testing.T) {
+	// The whole dataset — graph, venues, homes, check-in stream and
+	// per-user index — must be bit-identical at any worker count. The
+	// returned Data clears the Parallelism knob, so DeepEqual over the
+	// full struct is exact.
+	p := smallParams()
+	paralleltest.Invariant(t, func(par int) any {
+		p.Parallelism = par
+		return generate(t, p)
+	})
+}
+
+func TestGenerateDoesNotRetainParallelism(t *testing.T) {
+	p := smallParams()
+	p.Parallelism = 6
+	d := generate(t, p)
+	if d.Params.Parallelism != 0 {
+		t.Errorf("Data retained Parallelism %d; the knob is not part of dataset identity", d.Params.Parallelism)
 	}
 }

@@ -23,24 +23,39 @@ type Table struct {
 }
 
 // Compute builds the entropy table from historical check-in records.
+// The per-venue sum runs over workers in first-seen record order — never
+// map iteration order — so the floating-point accumulation is bit-stable
+// across runs (the repository-wide determinism contract).
 func Compute(records []model.CheckIn) *Table {
-	visits := make(map[model.VenueID]map[model.WorkerID]float64)
-	totals := make(map[model.VenueID]float64)
-	for _, r := range records {
-		m := visits[r.Venue]
-		if m == nil {
-			m = make(map[model.WorkerID]float64)
-			visits[r.Venue] = m
-		}
-		m[r.User]++
-		totals[r.Venue]++
+	type venueStats struct {
+		workerIdx map[model.WorkerID]int
+		counts    []float64 // per worker, in first-seen order
+		total     float64
 	}
-	t := &Table{byVenue: make(map[model.VenueID]float64, len(visits))}
-	for venue, perWorker := range visits {
-		total := totals[venue]
+	visits := make(map[model.VenueID]*venueStats)
+	venues := make([]model.VenueID, 0) // first-seen venue order
+	for _, r := range records {
+		vs := visits[r.Venue]
+		if vs == nil {
+			vs = &venueStats{workerIdx: make(map[model.WorkerID]int)}
+			visits[r.Venue] = vs
+			venues = append(venues, r.Venue)
+		}
+		i, ok := vs.workerIdx[r.User]
+		if !ok {
+			i = len(vs.counts)
+			vs.workerIdx[r.User] = i
+			vs.counts = append(vs.counts, 0)
+		}
+		vs.counts[i]++
+		vs.total++
+	}
+	t := &Table{byVenue: make(map[model.VenueID]float64, len(venues))}
+	for _, venue := range venues {
+		vs := visits[venue]
 		e := 0.0
-		for _, n := range perWorker {
-			p := n / total
+		for _, n := range vs.counts {
+			p := n / vs.total
 			e -= p * math.Log(p)
 		}
 		t.byVenue[venue] = e

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dita/internal/model"
+	"dita/internal/randx"
 )
 
 func checkin(user model.WorkerID, venue model.VenueID) model.CheckIn {
@@ -97,5 +98,31 @@ func TestEntropyNonNegativeAndBounded(t *testing.T) {
 	got := tbl.Lookup(3)
 	if got < 0 || got > math.Log(7) {
 		t.Errorf("entropy %v outside [0, ln 7]", got)
+	}
+}
+
+func TestComputeBitDeterministic(t *testing.T) {
+	// The entropy sum must accumulate in record order, not map order:
+	// two computations over the same records agree bit for bit. (A
+	// venue needs ≥ 3 distinct visitors with unequal shares for float
+	// association to matter; build many.)
+	rng := randx.New(9)
+	var records []model.CheckIn
+	for i := 0; i < 4000; i++ {
+		records = append(records, model.CheckIn{
+			User:  model.WorkerID(rng.Intn(60)),
+			Venue: model.VenueID(rng.Intn(25)),
+		})
+	}
+	a := Compute(records)
+	b := Compute(records)
+	if a.Len() != b.Len() {
+		t.Fatalf("table sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for v := model.VenueID(0); int(v) < 25; v++ {
+		if a.Lookup(v) != b.Lookup(v) {
+			t.Fatalf("venue %d entropy differs between identical runs: %v vs %v",
+				v, a.Lookup(v), b.Lookup(v))
+		}
 	}
 }

@@ -2,12 +2,16 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/lda"
+	"dita/internal/paralleltest"
 )
 
 func testRunner(t *testing.T) *Runner {
@@ -271,46 +275,124 @@ func TestRunnerDeterministic(t *testing.T) {
 	}
 }
 
+// stripCPU zeroes the wall-clock column, the one legitimate divergence
+// between runs at different pool widths.
+func stripCPU(res *Result) []Row {
+	rows := make([]Row, len(res.Rows))
+	copy(rows, res.Rows)
+	for i := range rows {
+		rows[i].CPUms = 0
+	}
+	return rows
+}
+
 func TestSweepParallelismInvariant(t *testing.T) {
 	// Sweeps fan out (day × sweep value) jobs; every metric except the
-	// wall-clock CPU column must match a sequential run exactly.
+	// wall-clock CPU column must match a sequential run exactly, at any
+	// pool width.
 	r := testRunner(t)
-	seq := *r
-	seq.P.Parallelism = 1
-	par := *r
-	par.P.Parallelism = 4
-
-	check := func(name string, ra, rb *Result) {
-		t.Helper()
-		if len(ra.Rows) != len(rb.Rows) {
-			t.Fatalf("%s: %d rows vs %d", name, len(ra.Rows), len(rb.Rows))
-		}
-		for i := range ra.Rows {
-			x, y := ra.Rows[i], rb.Rows[i]
-			if x.Alg != y.Alg || x.X != y.X || x.Assigned != y.Assigned || x.AI != y.AI ||
-				x.AP != y.AP || x.TravelKm != y.TravelKm {
-				t.Fatalf("%s: row %d differs\nseq: %+v\npar: %+v", name, i, x, y)
+	t.Run("comparison", func(t *testing.T) {
+		paralleltest.Invariant(t, func(par int) any {
+			run := *r
+			run.P.Parallelism = par
+			res, err := run.CompareTasks([]int{30, 60})
+			if err != nil {
+				t.Fatal(err)
 			}
+			return stripCPU(res)
+		})
+	})
+	t.Run("ablation", func(t *testing.T) {
+		paralleltest.Invariant(t, func(par int) any {
+			run := *r
+			run.P.Parallelism = par
+			res, err := run.AblationTasks([]int{40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return stripCPU(res)
+		})
+	})
+}
+
+func TestRunSweepFailFastSequential(t *testing.T) {
+	// A poisoned job must surface its error, and the jobs queued behind
+	// it must be skipped: sequential execution makes the skip count
+	// deterministic. xs iterate x-major over the runner's two days, so
+	// poisoning xs[1] fails at job index 2 and leaves jobs 3..7 unrun.
+	r := testRunner(t)
+	r.P.Parallelism = 1
+	poison := errors.New("poisoned sweep job")
+	var calls atomic.Int32
+	_, err := r.runSweep("fail", "x", []float64{1, 2, 3, 4}, []string{"s"},
+		func(day int, x float64) ([]core.Metrics, error) {
+			calls.Add(1)
+			if x == 2 {
+				return nil, poison
+			}
+			return []core.Metrics{{}}, nil
+		})
+	if !errors.Is(err, poison) {
+		t.Fatalf("sweep error = %v, want the poisoned job's error", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("eval ran %d times, want 3 (two clean jobs, the poisoned one, rest skipped)", got)
+	}
+}
+
+func TestRunSweepFailFastParallel(t *testing.T) {
+	// Under fan-out the error must surface and later-queued jobs must be
+	// skipped. Job 0 is always claimed first and is the poisoned one;
+	// every clean eval blocks until the poison has fired and then sleeps,
+	// so by the time any worker claims a second job the failure flag is
+	// long set — if the fail-fast check were removed, all 16 evals would
+	// run and the skip assertion below would catch it.
+	r := testRunner(t)
+	r.P.Parallelism = 8
+	poison := errors.New("poisoned sweep job")
+	poisoned := make(chan struct{})
+	var calls atomic.Int32
+	_, err := r.runSweep("fail", "x", []float64{1, 2, 3, 4, 5, 6, 7, 8}, []string{"s"},
+		func(day int, x float64) ([]core.Metrics, error) {
+			calls.Add(1)
+			if x == 1 && day == r.P.Days[0] { // job 0, the first claim
+				close(poisoned)
+				return nil, poison
+			}
+			<-poisoned
+			time.Sleep(20 * time.Millisecond)
+			return []core.Metrics{{}}, nil
+		})
+	if !errors.Is(err, poison) {
+		t.Fatalf("sweep error = %v, want the poisoned job's error", err)
+	}
+	if got := calls.Load(); got < 1 || got > 15 {
+		t.Errorf("eval ran %d of 16 jobs; fail-fast must skip at least the last-queued job", got)
+	}
+}
+
+func TestRunSweepMultiplePoisonedJobs(t *testing.T) {
+	// With several poisoned jobs a poisoned error always surfaces; the
+	// sequential path deterministically reports the first job's error
+	// (errs is scanned in job order), while fan-out may fail-fast-skip
+	// the earlier job and report whichever poisoned job actually ran.
+	r := testRunner(t)
+	errA := errors.New("first poisoned job")
+	errB := errors.New("second poisoned job")
+	for _, par := range paralleltest.WorkerCounts {
+		r.P.Parallelism = par
+		_, err := r.runSweep("fail", "x", []float64{1, 2}, []string{"s"},
+			func(day int, x float64) ([]core.Metrics, error) {
+				if x == 1 {
+					return nil, errA
+				}
+				return nil, errB
+			})
+		if !errors.Is(err, errA) && !errors.Is(err, errB) {
+			t.Fatalf("parallelism %d: error = %v, want a poisoned job's error", par, err)
+		}
+		if par == 1 && !errors.Is(err, errA) {
+			t.Fatalf("sequential sweep error = %v, want the first job's (%v)", err, errA)
 		}
 	}
-
-	ra, err := seq.CompareTasks([]int{30, 60})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rb, err := par.CompareTasks([]int{30, 60})
-	if err != nil {
-		t.Fatal(err)
-	}
-	check("comparison", ra, rb)
-
-	aa, err := seq.AblationTasks([]int{40})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ab, err := par.AblationTasks([]int{40})
-	if err != nil {
-		t.Fatal(err)
-	}
-	check("ablation", aa, ab)
 }

@@ -156,9 +156,7 @@ func (m *Model) Spread(seeds []int32, trials int, rng *randx.Rand) float64 {
 	workers := parallel.Workers(m.Parallelism)
 	chunks := parallel.NumChunks(trials, trialChunk)
 	rngs := make([]randx.Rand, chunks)
-	for c := range rngs {
-		rng.SplitInto(uint64(c), &rngs[c])
-	}
+	rng.SplitStreamsInto(rngs)
 	scratch := make([]*cascade, workers)
 	totals := make([]int64, workers)
 	parallel.ForChunks(workers, trials, trialChunk, func(worker, chunk, lo, hi int) {
@@ -194,9 +192,7 @@ func (m *Model) InformedProb(src int32, trials int, rng *randx.Rand) []float64 {
 	workers := parallel.Workers(m.Parallelism)
 	chunks := parallel.NumChunks(trials, trialChunk)
 	rngs := make([]randx.Rand, chunks)
-	for c := range rngs {
-		rng.SplitInto(uint64(c), &rngs[c])
-	}
+	rng.SplitStreamsInto(rngs)
 	scratch := make([]*cascade, workers)
 	counts := make([][]int32, workers)
 	seeds := []int32{src}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dita/internal/paralleltest"
 	"dita/internal/randx"
 	"dita/internal/socialgraph"
 )
@@ -137,28 +138,17 @@ func TestSpreadZeroTrials(t *testing.T) {
 
 func TestInformedProbParallelismInvariant(t *testing.T) {
 	g := socialgraph.GeneratePreferentialAttachment(80, 2, randx.New(11))
-	base := &Model{G: g, Parallelism: 1}
-	ref := base.InformedProb(5, 2000, randx.New(12))
-	for _, par := range []int{2, 4, 8} {
+	paralleltest.Invariant(t, func(par int) any {
 		m := &Model{G: g, Parallelism: par}
-		got := m.InformedProb(5, 2000, randx.New(12))
-		for i := range ref {
-			if got[i] != ref[i] {
-				t.Fatalf("parallelism %d: P(%d) = %v, sequential %v", par, i, got[i], ref[i])
-			}
-		}
-	}
+		return m.InformedProb(5, 2000, randx.New(12))
+	})
 }
 
 func TestSpreadParallelismInvariant(t *testing.T) {
 	g := socialgraph.GeneratePreferentialAttachment(80, 2, randx.New(13))
 	seeds := []int32{0, 3, 9}
-	base := &Model{G: g, Parallelism: 1}
-	ref := base.Spread(seeds, 1500, randx.New(14))
-	for _, par := range []int{2, 4, 8} {
+	paralleltest.Invariant(t, func(par int) any {
 		m := &Model{G: g, Parallelism: par}
-		if got := m.Spread(seeds, 1500, randx.New(14)); got != ref {
-			t.Fatalf("parallelism %d: spread %v, sequential %v", par, got, ref)
-		}
-	}
+		return m.Spread(seeds, 1500, randx.New(14))
+	})
 }

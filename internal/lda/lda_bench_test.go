@@ -1,6 +1,7 @@
 package lda
 
 import (
+	"fmt"
 	"testing"
 
 	"dita/internal/randx"
@@ -58,5 +59,21 @@ func BenchmarkAffinity(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Affinity(a, c)
+	}
+}
+
+// BenchmarkTrainParallel measures the chunked Gibbs sweep at several
+// pool widths; the fitted model is identical across sub-benchmarks, so
+// the deltas isolate scheduling gains.
+func BenchmarkTrainParallel(b *testing.B) {
+	docs := benchCorpus(500, 40, 60, 1)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(docs, 60, Config{Topics: 50, TrainIters: 50, Seed: 1, Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dita/internal/paralleltest"
 	"dita/internal/randx"
 )
 
@@ -245,5 +246,64 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.BurnIn >= c.TrainIters {
 		t.Errorf("burn-in %d >= iters %d", c.BurnIn, c.TrainIters)
+	}
+}
+
+func TestTrainParallelismInvariant(t *testing.T) {
+	// The tentpole determinism contract: a multi-chunk corpus (several
+	// docChunk blocks) trains to a bit-identical model at any worker
+	// count. The harness compares φ and θ via DeepEqual.
+	docs, _ := synthCorpus(4*docChunk+17, 12, 21)
+	paralleltest.Invariant(t, func(par int) any {
+		m, err := Train(docs, 10, Config{Topics: 6, Alpha: 0.3, TrainIters: 25, Seed: 21, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return struct {
+			Phi   [][]float64
+			Theta [][]float64
+		}{m.phi, m.theta}
+	})
+}
+
+func TestTrainDoesNotRetainParallelism(t *testing.T) {
+	docs, _ := synthCorpus(10, 8, 1)
+	m, err := Train(docs, 10, Config{Topics: 4, TrainIters: 10, Seed: 1, Parallelism: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.Parallelism != 0 {
+		t.Errorf("model retained Parallelism %d; the knob is not part of model identity", m.cfg.Parallelism)
+	}
+}
+
+func TestTrainParallelMatchesStatisticalQuality(t *testing.T) {
+	// The chunked (AD-LDA style) sweep must still learn the corpus
+	// structure when documents are spread over many concurrent chunks:
+	// same-topic affinity clearly above cross-topic, as in the
+	// sequential tests above.
+	docs, labels := synthCorpus(3*docChunk, 16, 33)
+	m, err := Train(docs, 10, Config{Topics: 4, Alpha: 0.3, TrainIters: 120, Seed: 33, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, cross := 0.0, 0.0
+	nSame, nCross := 0, 0
+	for a := 0; a < len(docs); a++ {
+		for b := a + 1; b < len(docs); b++ {
+			aff := Affinity(m.DocTopics(a), m.DocTopics(b))
+			if labels[a] == labels[b] {
+				same += aff
+				nSame++
+			} else {
+				cross += aff
+				nCross++
+			}
+		}
+	}
+	same /= float64(nSame)
+	cross /= float64(nCross)
+	if same <= cross*1.5 {
+		t.Errorf("chunked training: same-topic affinity %v not clearly above cross-topic %v", same, cross)
 	}
 }

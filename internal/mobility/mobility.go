@@ -23,9 +23,11 @@ package mobility
 
 import (
 	"math"
+	"slices"
 
 	"dita/internal/geo"
 	"dita/internal/model"
+	"dita/internal/parallel"
 )
 
 // Config controls HA model fitting. Zero values select defaults: restart
@@ -39,6 +41,12 @@ type Config struct {
 	DefaultShape float64
 	MinShape     float64
 	MaxShape     float64
+	// Parallelism bounds the fitting worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0). Per-worker fits are independent and draw no
+	// randomness, so the fitted model is bit-identical at any setting.
+	// The knob is a runtime choice, not part of the model identity, so
+	// the fitted Model does not retain it.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,17 +98,32 @@ type Model struct {
 	workers map[model.WorkerID]*WorkerModel
 }
 
-// Fit builds HA models for every worker with a history. Histories must be
-// (or will be treated as) ordered by check-in time; Fit sorts defensively.
+// Fit builds HA models for every worker with a history, fitting workers
+// concurrently on the shared pool (each fit is independent: RWR power
+// iteration plus the Pareto MLE, no randomness). Histories must be (or
+// will be treated as) ordered by check-in time; Fit sorts defensively.
 func Fit(histories map[model.WorkerID]model.History, cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	m := &Model{cfg: cfg, workers: make(map[model.WorkerID]*WorkerModel, len(histories))}
+	ids := make([]model.WorkerID, 0, len(histories))
 	for id, h := range histories {
 		if len(h) == 0 {
 			continue
 		}
+		ids = append(ids, id)
+	}
+	// Map iteration order is random; sorting pins item indices so every
+	// run fits the same worker under the same index.
+	slices.Sort(ids)
+	fitted := make([]*WorkerModel, len(ids))
+	parallel.For(parallel.Workers(cfg.Parallelism), len(ids), func(_, i int) {
+		h := histories[ids[i]]
 		h.SortByTime()
-		m.workers[id] = fitWorker(h, cfg)
+		fitted[i] = fitWorker(h, cfg)
+	})
+	cfg.Parallelism = 0 // runtime knob, not model identity
+	m := &Model{cfg: cfg, workers: make(map[model.WorkerID]*WorkerModel, len(ids))}
+	for i, id := range ids {
+		m.workers[id] = fitted[i]
 	}
 	return m
 }

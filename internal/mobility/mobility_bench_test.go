@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"fmt"
 	"testing"
 
 	"dita/internal/geo"
@@ -46,5 +47,18 @@ func BenchmarkWillingness(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Willingness(model.WorkerID(i%100), loc)
+	}
+}
+
+// BenchmarkFitParallel measures per-worker HA fitting at several pool
+// widths over the same histories.
+func BenchmarkFitParallel(b *testing.B) {
+	hists := benchHistories(2400, 30, 1)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Fit(hists, Config{Parallelism: par})
+			}
+		})
 	}
 }

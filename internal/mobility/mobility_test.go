@@ -7,6 +7,7 @@ import (
 
 	"dita/internal/geo"
 	"dita/internal/model"
+	"dita/internal/paralleltest"
 	"dita/internal/randx"
 )
 
@@ -242,5 +243,31 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.MinShape <= 0 || c.MaxShape <= c.MinShape {
 		t.Errorf("shape clamp invalid: %+v", c)
+	}
+}
+
+func TestFitParallelismInvariant(t *testing.T) {
+	// Many workers with structured random histories: the fitted model
+	// map must be bit-identical at any pool width.
+	rng := randx.New(17)
+	histories := make(map[model.WorkerID]model.History, 120)
+	for u := 0; u < 120; u++ {
+		n := 1 + rng.Intn(12)
+		var h model.History
+		for i := 0; i < n; i++ {
+			h = append(h, record(model.WorkerID(u), model.VenueID(rng.Intn(6)),
+				rng.Float64()*200, rng.Float64()*200, float64(n-i))) // reversed times exercise the sort
+		}
+		histories[model.WorkerID(u)] = h
+	}
+	paralleltest.Invariant(t, func(par int) any {
+		return Fit(histories, Config{Parallelism: par}).workers
+	})
+}
+
+func TestFitDoesNotRetainParallelism(t *testing.T) {
+	m := Fit(map[model.WorkerID]model.History{0: {record(0, 0, 1, 1, 1)}}, Config{Parallelism: 5})
+	if m.cfg.Parallelism != 0 {
+		t.Errorf("model retained Parallelism %d; the knob is not part of model identity", m.cfg.Parallelism)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"dita/internal/paralleltest"
 )
 
 func TestWorkersResolvesKnob(t *testing.T) {
@@ -121,4 +123,22 @@ func TestForChunkIndexedWrites(t *testing.T) {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
 	}
+}
+
+func TestForChunksHarnessInvariant(t *testing.T) {
+	// The pool itself under the shared harness: a chunk-disciplined
+	// computation (chunk-owned output, chunk-indexed "streams") is
+	// bit-identical at every worker count the harness exercises.
+	paralleltest.Invariant(t, func(par int) any {
+		const n, size = 1037, 64
+		out := make([]uint64, n)
+		ForChunks(par, n, size, func(_, chunk, lo, hi int) {
+			acc := uint64(chunk) * 0x9e3779b97f4a7c15
+			for i := lo; i < hi; i++ {
+				acc = acc*6364136223846793005 + uint64(i)
+				out[i] = acc
+			}
+		})
+		return out
+	})
 }

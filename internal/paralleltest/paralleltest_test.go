@@ -1,0 +1,74 @@
+package paralleltest
+
+import (
+	"strings"
+	"testing"
+
+	"dita/internal/parallel"
+)
+
+// recorder captures Fatalf calls so the harness's failure path can be
+// tested without failing the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = strings.ReplaceAll(format, "%", "")
+	for range args {
+	}
+}
+
+func TestWorkerCountsShape(t *testing.T) {
+	if len(WorkerCounts) < 3 || WorkerCounts[0] != 1 {
+		t.Fatalf("WorkerCounts = %v: must start with the sequential path and cover several pool widths", WorkerCounts)
+	}
+	seen := map[int]bool{}
+	for _, w := range WorkerCounts {
+		if w < 1 || seen[w] {
+			t.Fatalf("WorkerCounts = %v: entries must be positive and distinct", WorkerCounts)
+		}
+		seen[w] = true
+	}
+}
+
+func TestInvariantAcceptsDeterministicComputation(t *testing.T) {
+	// A chunk-disciplined computation on the real pool: each item writes
+	// only its own slot, so any worker count yields the same slice.
+	Invariant(t, func(parallelism int) any {
+		out := make([]int, 100)
+		parallel.For(parallelism, len(out), func(_, i int) {
+			out[i] = i * i
+		})
+		return out
+	})
+}
+
+func TestInvariantCatchesWorkerCountDependence(t *testing.T) {
+	rec := &recorder{}
+	Invariant(rec, func(parallelism int) any {
+		return parallelism // observably depends on the knob
+	})
+	if !rec.failed {
+		t.Fatal("harness accepted a result that depends on the worker count")
+	}
+	if !strings.Contains(rec.msg, "diverged") {
+		t.Errorf("failure message %q does not explain the divergence", rec.msg)
+	}
+}
+
+func TestDescribeTruncatesHugeResults(t *testing.T) {
+	huge := make([]byte, 1<<16)
+	s := describe(huge)
+	if len(s) > 700 {
+		t.Errorf("describe returned %d bytes; want a truncated rendering", len(s))
+	}
+	if !strings.Contains(s, "bytes total") {
+		t.Errorf("truncated rendering %q should note the full size", s)
+	}
+}

@@ -52,6 +52,35 @@ func (r *Rand) SplitInto(label uint64, dst *Rand) {
 	dst.Reseed(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
 }
 
+// SplitStreamsInto reseeds dst[i] with the stream Split(i) would return,
+// for every i, consuming one generator draw per stream. It is THE way to
+// derive per-chunk streams for a parallel stage: called sequentially
+// before any chunk runs, it pins stream identity to the chunk index so
+// the result cannot depend on scheduling order (the repo-wide
+// determinism contract; see internal/parallel).
+func (r *Rand) SplitStreamsInto(dst []Rand) {
+	for i := range dst {
+		r.SplitInto(uint64(i), &dst[i])
+	}
+}
+
+// Mix folds the labels into one stream seed via a SplitMix64 chain. It is
+// a pure function — unlike Split it consumes no generator state — so a
+// parallel worker can derive the stream of any (seed, sweep, chunk, ...)
+// coordinate independently and in any order. The chunked Gibbs sampler
+// keys its per-sweep chunk streams this way.
+func Mix(labels ...uint64) uint64 {
+	h := uint64(0x6a09e667f3bcc909) // fractional bits of sqrt(2)
+	for _, l := range labels {
+		h ^= l + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

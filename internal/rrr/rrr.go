@@ -42,6 +42,13 @@ type Params struct {
 	// collection because every sample chunk draws from a stream derived
 	// from its chunk index, not from the goroutine that runs it.
 	Parallelism int
+	// DropForwardIndex releases the forward set index (setOff/setMembers)
+	// once the inverted cover index is built, roughly halving the
+	// collection's membership memory. Every propagation query and
+	// TopKSeeds run on the inverted index and are unaffected; only
+	// SetMembers becomes unavailable (it returns nil). Opt in when a
+	// collection is memory-bound and per-set enumeration is not needed.
+	DropForwardIndex bool
 }
 
 func (p Params) withDefaults() Params {
@@ -163,9 +170,7 @@ func (b *builder) addSets(count int, rng *randx.Rand) {
 	if len(b.rngs) < chunks {
 		b.rngs = make([]randx.Rand, chunks)
 	}
-	for c := 0; c < chunks; c++ {
-		rng.SplitInto(uint64(c), &b.rngs[c])
-	}
+	rng.SplitStreamsInto(b.rngs[:chunks])
 	for len(b.chunkBufs) < chunks {
 		b.chunkBufs = append(b.chunkBufs, nil)
 	}
@@ -327,8 +332,15 @@ func Build(g *socialgraph.Graph, p Params) *Collection {
 		b.addSets(add, rng)
 	}
 	b.finish(c, st)
+	if p.DropForwardIndex {
+		c.setOff, c.setMembers = nil, nil
+	}
 	return c
 }
+
+// HasForwardIndex reports whether the per-set membership arrays are
+// retained (false after Params.DropForwardIndex).
+func (c *Collection) HasForwardIndex() bool { return c.setOff != nil }
 
 // Stats returns the run statistics recorded by Build.
 func (c *Collection) Stats() Stats { return c.stats }
@@ -457,8 +469,12 @@ func (c *Collection) SetIDs(w int32) []int32 { return c.cover(w) }
 
 // SetMembers returns the members of RRR set id (the root is always
 // included). The slice aliases internal storage and must not be
-// modified.
+// modified. It returns nil when the collection was built with
+// Params.DropForwardIndex.
 func (c *Collection) SetMembers(id int32) []int32 {
+	if c.setOff == nil {
+		return nil
+	}
 	return c.setMembers[c.setOff[id]:c.setOff[id+1]]
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dita/internal/ic"
+	"dita/internal/paralleltest"
 	"dita/internal/randx"
 	"dita/internal/socialgraph"
 )
@@ -207,37 +208,54 @@ func TestParamsDefaults(t *testing.T) {
 
 func TestBuildParallelismInvariant(t *testing.T) {
 	// The headline determinism contract of the parallel sampler: for a
-	// fixed Seed the collection is bit-identical at every Parallelism,
-	// including the inline sequential path.
+	// fixed Seed the collection — roots, forward and inverted indexes,
+	// stats, every unexported byte — is bit-identical at every
+	// Parallelism, including the inline sequential path.
 	g := socialgraph.GeneratePreferentialAttachment(120, 2, randx.New(21))
-	base := Build(g, Params{Seed: 22, Parallelism: 1})
-	for _, par := range []int{2, 4, 8} {
-		c := Build(g, Params{Seed: 22, Parallelism: par})
-		if c.NumSets() != base.NumSets() {
-			t.Fatalf("parallelism %d: %d sets vs sequential %d", par, c.NumSets(), base.NumSets())
+	paralleltest.Invariant(t, func(par int) any {
+		return Build(g, Params{Seed: 22, Parallelism: par})
+	})
+}
+
+func TestDropForwardIndexPreservesQueries(t *testing.T) {
+	g := socialgraph.GeneratePreferentialAttachment(90, 2, randx.New(31))
+	kept := Build(g, Params{Seed: 32})
+	dropped := Build(g, Params{Seed: 32, DropForwardIndex: true})
+	if !kept.HasForwardIndex() {
+		t.Fatal("default build lost its forward index")
+	}
+	if dropped.HasForwardIndex() {
+		t.Fatal("DropForwardIndex build retained the forward index")
+	}
+	if dropped.NumSets() != kept.NumSets() || dropped.Stats() != kept.Stats() {
+		t.Fatalf("dropped build stats differ: %+v vs %+v", dropped.Stats(), kept.Stats())
+	}
+	// Every inverted-index query is unaffected.
+	for ws := int32(0); ws < int32(g.N()); ws++ {
+		if !slices.Equal(dropped.SetIDs(ws), kept.SetIDs(ws)) {
+			t.Fatalf("cover of worker %d differs after drop", ws)
 		}
-		if c.Stats() != base.Stats() {
-			t.Fatalf("parallelism %d: stats %+v vs sequential %+v", par, c.Stats(), base.Stats())
+		if !slices.Equal(dropped.Propagation(ws), kept.Propagation(ws)) {
+			t.Fatalf("Ppro(%d, ·) differs after drop", ws)
 		}
-		for j := int32(0); j < int32(c.NumSets()); j++ {
-			if c.Root(j) != base.Root(j) {
-				t.Fatalf("parallelism %d: root of set %d differs", par, j)
-			}
-			if !slices.Equal(c.SetMembers(j), base.SetMembers(j)) {
-				t.Fatalf("parallelism %d: members of set %d differ", par, j)
-			}
+		if dropped.PropagationSum(ws) != kept.PropagationSum(ws) {
+			t.Fatalf("propagation sum of %d differs after drop", ws)
 		}
-		for ws := int32(0); ws < int32(g.N()); ws++ {
-			if !slices.Equal(c.SetIDs(ws), base.SetIDs(ws)) {
-				t.Fatalf("parallelism %d: cover of worker %d differs", par, ws)
-			}
-			va, vb := c.Propagation(ws), base.Propagation(ws)
-			for i := range va {
-				if va[i] != vb[i] {
-					t.Fatalf("parallelism %d: Ppro(%d,%d) = %v vs %v", par, ws, i, va[i], vb[i])
-				}
-			}
+		if dropped.CoverageCount(ws) != kept.CoverageCount(ws) {
+			t.Fatalf("coverage count of %d differs after drop", ws)
 		}
+	}
+	// Seed selection runs purely on the inverted index.
+	a, b := dropped.TopKSeeds(5), kept.TopKSeeds(5)
+	if !slices.Equal(a.Seeds, b.Seeds) || !slices.Equal(a.Spread, b.Spread) {
+		t.Fatalf("TopKSeeds differs after drop: %+v vs %+v", a, b)
+	}
+	// Per-set enumeration is the one documented casualty.
+	if dropped.SetMembers(0) != nil {
+		t.Error("SetMembers on a dropped collection should return nil")
+	}
+	if kept.SetMembers(0) == nil {
+		t.Error("SetMembers on a kept collection should work")
 	}
 }
 

@@ -7,6 +7,16 @@ package rrr
 // max-coverage selection (Borgs et al., Tang et al.) over the same RRR
 // sets the RPO estimator already maintains, so a task issuer can ask
 // "which k workers should know about this task first?".
+//
+// The selection uses the CELF lazy-greedy queue (Leskovec et al.):
+// marginal coverage gains are submodular, so a worker's cached gain is
+// an upper bound on its true gain and only the queue head ever needs
+// recomputation. The result is identical — seed for seed, spread for
+// spread — to the exact greedy that recomputes every gain each round
+// (topKSeedsExact, kept as the test reference), but the per-round cost
+// drops from Σ_w |cover(w)| to a handful of head refreshes.
+
+import "container/heap"
 
 // SeedSelection is the result of TopKSeeds: the chosen workers in pick
 // order and the estimated number of workers their joint cascade informs
@@ -17,9 +27,41 @@ type SeedSelection struct {
 	Spread []float64
 }
 
+// celfEntry is one lazy-queue element: a candidate worker, its cached
+// marginal gain, and the selection round the gain was computed in.
+type celfEntry struct {
+	worker int32
+	gain   int32
+	round  int32
+}
+
+// celfQueue is a max-heap on (gain desc, worker asc). The worker-id tie
+// break makes the lazy selection reproduce the exact greedy's "first
+// maximum in ascending scan" choice bit for bit.
+type celfQueue []celfEntry
+
+func (q celfQueue) Len() int { return len(q) }
+func (q celfQueue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].worker < q[j].worker
+}
+func (q celfQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *celfQueue) Push(x any)   { *q = append(*q, x.(celfEntry)) }
+func (q *celfQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
 // TopKSeeds greedily picks k workers maximizing RRR-set coverage — the
-// (1−1/e)-approximate influence-maximization selection. It is
-// deterministic given the collection. k is clamped to the graph size.
+// (1−1/e)-approximate influence-maximization selection — via the CELF
+// lazy queue. It is deterministic given the collection and returns
+// exactly what the exhaustive greedy recompute would. k is clamped to
+// the graph size.
 func (c *Collection) TopKSeeds(k int) SeedSelection {
 	n := c.g.N()
 	if k > n {
@@ -30,7 +72,66 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 		return sel
 	}
 	covered := make([]bool, len(c.roots)) // RRR sets already covered
-	gain := make([]int, n)                // current marginal coverage per worker
+	q := make(celfQueue, 0, n)
+	for w := 0; w < n; w++ {
+		if g := c.CoverageCount(int32(w)); g > 0 {
+			q = append(q, celfEntry{worker: int32(w), gain: int32(g)})
+		}
+	}
+	heap.Init(&q)
+	totalCovered := 0
+	scale := float64(n) / float64(len(c.roots))
+	for len(sel.Seeds) < k && len(q) > 0 {
+		head := q[0]
+		// Cached gains are upper bounds (submodularity), so once the head
+		// reaches zero nothing can still contribute.
+		if head.gain <= 0 {
+			break
+		}
+		round := int32(len(sel.Seeds))
+		if head.round != round {
+			// Stale bound: refresh the head's true marginal gain in place
+			// and let it sift to its real position.
+			g := int32(0)
+			for _, id := range c.cover(head.worker) {
+				if !covered[id] {
+					g++
+				}
+			}
+			q[0].gain, q[0].round = g, round
+			heap.Fix(&q, 0)
+			continue
+		}
+		// Fresh head: no other candidate can beat it. Select it and mark
+		// its sets covered.
+		heap.Pop(&q)
+		for _, id := range c.cover(head.worker) {
+			if !covered[id] {
+				covered[id] = true
+				totalCovered++
+			}
+		}
+		sel.Seeds = append(sel.Seeds, head.worker)
+		sel.Spread = append(sel.Spread, scale*float64(totalCovered))
+	}
+	return sel
+}
+
+// topKSeedsExact is the quadratic reference selection: every round it
+// recomputes every worker's marginal coverage and picks the smallest-id
+// maximum. Tests assert TopKSeeds matches it exactly; it is not used on
+// any production path.
+func (c *Collection) topKSeedsExact(k int) SeedSelection {
+	n := c.g.N()
+	if k > n {
+		k = n
+	}
+	var sel SeedSelection
+	if k <= 0 || len(c.roots) == 0 {
+		return sel
+	}
+	covered := make([]bool, len(c.roots))
+	gain := make([]int, n)
 	for w := 0; w < n; w++ {
 		gain[w] = c.CoverageCount(int32(w))
 	}
@@ -46,8 +147,6 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 		if best < 0 || bestGain <= 0 {
 			break
 		}
-		// Mark the sets the new seed covers and decrement the marginal
-		// gains of every other member of those sets.
 		for _, id := range c.cover(int32(best)) {
 			if covered[id] {
 				continue
@@ -55,9 +154,6 @@ func (c *Collection) TopKSeeds(k int) SeedSelection {
 			covered[id] = true
 			totalCovered++
 		}
-		// Recompute gains lazily but exactly: subtract coverage overlap.
-		// (A CELF queue would be faster; exactness keeps this simple and
-		// deterministic, and k is small in practice.)
 		for w := 0; w < n; w++ {
 			cnt := 0
 			for _, id := range c.cover(int32(w)) {

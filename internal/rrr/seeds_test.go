@@ -103,3 +103,59 @@ func TestTopKSeedsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestTopKSeedsMatchesExactGreedy(t *testing.T) {
+	// The CELF lazy queue must reproduce the quadratic exact greedy
+	// bit for bit — same seeds in the same order, same cumulative
+	// spreads — across randomized collections, k regimes and tie-heavy
+	// small set families.
+	cases := []struct {
+		nodes, edges int
+		graphSeed    uint64
+		buildSeed    uint64
+		maxSets      int
+	}{
+		{40, 2, 101, 201, 0},
+		{80, 2, 102, 202, 0},
+		{120, 3, 103, 203, 0},
+		{60, 1, 104, 204, 500}, // few sets → many equal gains → tie breaks matter
+		{25, 2, 105, 205, 64},
+	}
+	for _, tc := range cases {
+		g := socialgraph.GeneratePreferentialAttachment(tc.nodes, tc.edges, randx.New(tc.graphSeed))
+		c := Build(g, Params{Seed: tc.buildSeed, MaxSets: tc.maxSets})
+		for _, k := range []int{1, 2, 5, 10, tc.nodes} {
+			lazy := c.TopKSeeds(k)
+			exact := c.topKSeedsExact(k)
+			if len(lazy.Seeds) != len(exact.Seeds) {
+				t.Fatalf("nodes=%d k=%d: CELF picked %d seeds, exact %d",
+					tc.nodes, k, len(lazy.Seeds), len(exact.Seeds))
+			}
+			for i := range lazy.Seeds {
+				if lazy.Seeds[i] != exact.Seeds[i] {
+					t.Fatalf("nodes=%d k=%d: seed %d is %d (CELF) vs %d (exact)",
+						tc.nodes, k, i, lazy.Seeds[i], exact.Seeds[i])
+				}
+				if lazy.Spread[i] != exact.Spread[i] {
+					t.Fatalf("nodes=%d k=%d: spread %d is %v (CELF) vs %v (exact)",
+						tc.nodes, k, i, lazy.Spread[i], exact.Spread[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSeedsStopsWithExhaustedGain(t *testing.T) {
+	// When every remaining candidate has zero marginal gain both
+	// selections stop early at the same length.
+	g := socialgraph.GeneratePreferentialAttachment(30, 2, randx.New(41))
+	c := Build(g, Params{Seed: 42, MaxSets: 32})
+	lazy := c.TopKSeeds(30)
+	exact := c.topKSeedsExact(30)
+	if len(lazy.Seeds) != len(exact.Seeds) {
+		t.Fatalf("early-stop lengths differ: CELF %d, exact %d", len(lazy.Seeds), len(exact.Seeds))
+	}
+	if len(lazy.Seeds) == 30 {
+		t.Skip("fixture covered every worker; early-stop path not exercised")
+	}
+}
