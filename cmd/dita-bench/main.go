@@ -6,6 +6,7 @@
 //
 //	dita-bench [-datasets bk,fs] [-figures all|5,9,15] [-scale full|quick]
 //	           [-csv dir] [-days n] [-parallel n] [-rrrbench file.json]
+//	           [-simbench file.json]
 //
 // A full run with -scale full uses Table II defaults (|S|=1500, |W|=1200,
 // ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
@@ -22,6 +23,12 @@
 // and GOMAXPROCS, writing a machine-readable JSON report (ns/op,
 // allocs/op, sets/sec, per-phase ms per point) so successive PRs have a
 // comparable perf trajectory.
+//
+// -simbench runs a streaming day twice — rebuilding the online phase
+// cold every instant vs. the warm incremental session — and records the
+// per-instant influence-preparation latency into the same JSON report
+// (merging with an existing -rrrbench file), demonstrating what the
+// session cache skips for carried-over tasks and workers.
 package main
 
 import (
@@ -39,13 +46,17 @@ import (
 	"testing"
 	"time"
 
+	"dita/internal/assign"
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/experiments"
 	"dita/internal/lda"
 	"dita/internal/mobility"
+	"dita/internal/model"
+	"dita/internal/parallel"
 	"dita/internal/randx"
 	"dita/internal/rrr"
+	"dita/internal/simulate"
 	"dita/internal/socialgraph"
 )
 
@@ -60,12 +71,19 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "experiment seed")
 		par          = flag.Int("parallel", 0, "worker pool bound for sampling and sweeps (0 = all cores)")
 		rrrBench     = flag.String("rrrbench", "", "write an rrr.Build scaling report to this JSON file and exit")
+		simBench     = flag.String("simbench", "", "record per-instant online-phase latency (cold vs warm session) into this JSON file and exit")
 	)
 	flag.Parse()
 
 	if *rrrBench != "" {
 		if err := writeRRRBench(*rrrBench); err != nil {
 			log.Fatalf("rrrbench: %v", err)
+		}
+		return
+	}
+	if *simBench != "" {
+		if err := writeSimBench(*simBench, *par); err != nil {
+			log.Fatalf("simbench: %v", err)
 		}
 		return
 	}
@@ -254,6 +272,38 @@ type rrrBenchReport struct {
 	// ForwardIndexBytes is the retained memory Params.DropForwardIndex
 	// retires on the benchmark collection (setOff + setMembers).
 	ForwardIndexBytes int64 `json:"forward_index_bytes"`
+	// Sim records the streaming online phase: per-instant influence
+	// preparation latency with a cold rebuild per instant vs. the warm
+	// incremental session (-simbench).
+	Sim *simBenchReport `json:"sim,omitempty"`
+}
+
+// simInstantPoint is one assignment instant of the -simbench run: the
+// same instant measured with a cold (full rebuild) and a warm (cached
+// session) online phase. The two runs make identical assignments, so the
+// pools — and therefore the work the instant asks for — are identical
+// point for point.
+type simInstantPoint struct {
+	Instant int     `json:"instant"`
+	At      float64 `json:"at_hours"`
+	Workers int     `json:"workers"`
+	Tasks   int     `json:"tasks"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+}
+
+// simBenchReport is the streaming online-phase trajectory: how much the
+// incremental session saves per instant by reusing carried-over state.
+type simBenchReport struct {
+	Parallelism int               `json:"parallelism"`
+	Arrivals    int               `json:"arrivals"`
+	Assigned    int               `json:"assigned"`
+	Instants    []simInstantPoint `json:"instants"`
+	ColdTotalMs float64           `json:"cold_total_ms"`
+	WarmTotalMs float64           `json:"warm_total_ms"`
+	// WarmSpeedup = ColdTotalMs / WarmTotalMs over instants after the
+	// first (the first warm instant is itself cold by definition).
+	WarmSpeedup float64 `json:"warm_speedup"`
 }
 
 // writeRRRBench measures rrr.Build on a paper-scale graph at
@@ -318,6 +368,149 @@ func writeRRRBench(path string) error {
 		fmt.Printf("training parallelism=%d: datagen %.0fms, lda %.0fms, mobility %.0fms\n",
 			p, tp.DatagenMs, tp.LDAMs, tp.MobilityMs)
 	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// writeSimBench runs one streaming day twice — once rebuilding the
+// online phase from scratch every instant (ColdPrepare), once on the
+// warm incremental session — and records per-instant influence
+// preparation latency into the BENCH_rrr.json report (merging with an
+// existing file so the rrrbench trajectory is preserved). The two runs
+// are bit-identical in everything but latency, so each point isolates
+// exactly the recomputation the session cache skips for carried-over
+// tasks and workers.
+func writeSimBench(path string, par int) error {
+	dp := dataset.BrightkiteLike()
+	dp.NumUsers = 800
+	dp.NumVenues = 1000
+	dp.Days = 12
+	dp.Parallelism = par
+	data, err := dataset.Generate(dp)
+	if err != nil {
+		return err
+	}
+	cutoff := float64(dp.Days-2) * 24
+	docs, vocab := data.Documents(cutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, core.Config{TopWillingnessLocations: 8, Parallelism: par})
+	if err != nil {
+		return err
+	}
+
+	// One evaluation day of arrivals: workers join from their homes,
+	// tasks spawn at venues, both spread over the first 12 hours.
+	const arrivals = 250
+	rng := randx.New(7)
+	ws := make([]simulate.ArrivingWorker, arrivals)
+	ts := make([]simulate.ArrivingTask, arrivals)
+	for i := range ws {
+		u := model.WorkerID(rng.Intn(dp.NumUsers))
+		ws[i] = simulate.ArrivingWorker{
+			User: u, Loc: data.Homes[u], Radius: 25, At: cutoff + rng.Float64()*12,
+		}
+		v := data.Venues[rng.Intn(len(data.Venues))]
+		ts[i] = simulate.ArrivingTask{
+			Loc: v.Loc, Publish: cutoff + rng.Float64()*12, Valid: 3 + rng.Float64()*3,
+			Categories: v.Categories, Venue: v.ID,
+		}
+	}
+	slices.SortStableFunc(ws, func(a, b simulate.ArrivingWorker) int {
+		switch {
+		case a.At < b.At:
+			return -1
+		case a.At > b.At:
+			return 1
+		}
+		return 0
+	})
+	slices.SortStableFunc(ts, func(a, b simulate.ArrivingTask) int {
+		switch {
+		case a.Publish < b.Publish:
+			return -1
+		case a.Publish > b.Publish:
+			return 1
+		}
+		return 0
+	})
+
+	run := func(cold bool) (*simulate.Result, error) {
+		p, err := simulate.New(fw, simulate.Config{
+			Algorithm: assign.IA, Step: 1, Start: cutoff, Horizon: 16,
+			Seed: 9, Parallelism: par, ColdPrepare: cold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return p.Run(ws, ts)
+	}
+	coldRes, err := run(true)
+	if err != nil {
+		return err
+	}
+	warmRes, err := run(false)
+	if err != nil {
+		return err
+	}
+	if len(coldRes.Instants) != len(warmRes.Instants) || coldRes.TotalAssigned != warmRes.TotalAssigned {
+		return fmt.Errorf("cold and warm runs diverged: %d/%d instants, %d/%d assigned",
+			len(coldRes.Instants), len(warmRes.Instants), coldRes.TotalAssigned, warmRes.TotalAssigned)
+	}
+
+	sim := &simBenchReport{
+		Parallelism: parallel.Workers(par),
+		Arrivals:    arrivals,
+		Assigned:    warmRes.TotalAssigned,
+	}
+	warmAfterFirst, coldAfterFirst := 0.0, 0.0
+	seen := 0
+	for i, ci := range coldRes.Instants {
+		wi := warmRes.Instants[i]
+		coldMs := float64(ci.Prepare.Microseconds()) / 1000
+		warmMs := float64(wi.Prepare.Microseconds()) / 1000
+		sim.Instants = append(sim.Instants, simInstantPoint{
+			Instant: i, At: ci.At, Workers: ci.OnlineWorkers, Tasks: ci.OpenTasks,
+			ColdMs: coldMs, WarmMs: warmMs,
+		})
+		sim.ColdTotalMs += coldMs
+		sim.WarmTotalMs += warmMs
+		if ci.OnlineWorkers > 0 && ci.OpenTasks > 0 {
+			if seen > 0 {
+				coldAfterFirst += coldMs
+				warmAfterFirst += warmMs
+			}
+			seen++
+		}
+		fmt.Printf("instant %2d (t=%.0fh, %3dW x %3dS): cold %7.1fms  warm %7.1fms\n",
+			i, ci.At, ci.OnlineWorkers, ci.OpenTasks, coldMs, warmMs)
+	}
+	if warmAfterFirst > 0 {
+		sim.WarmSpeedup = coldAfterFirst / warmAfterFirst
+	}
+	fmt.Printf("online phase totals: cold %.1fms, warm %.1fms (%.1fx on carried-over instants)\n",
+		sim.ColdTotalMs, sim.WarmTotalMs, sim.WarmSpeedup)
+
+	// Merge into an existing rrrbench report when one is present, so one
+	// JSON file tracks the whole perf trajectory. The environment fields
+	// are stamped after the merge: they must describe this run, not the
+	// one that wrote the file.
+	var report rrrBenchReport
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &report); err != nil {
+			return fmt.Errorf("existing report %s is not mergeable: %w", path, err)
+		}
+	}
+	report.GoVersion = runtime.Version()
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	report.Sim = sim
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

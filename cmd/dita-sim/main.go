@@ -34,6 +34,7 @@ func main() {
 		algName = flag.String("alg", "IA", "algorithm: MTA, IA, EIA, DIA or MI")
 		mask    = flag.String("mask", "IA", "influence components: IA (all), IA-WP, IA-AP or IA-AW")
 		seed    = flag.Uint64("seed", 1, "instance sampling seed")
+		par     = flag.Int("parallel", 0, "worker pool bound for the online phase (0 = all cores)")
 		verbose = flag.Bool("v", false, "print every assigned pair")
 	)
 	flag.Parse()
@@ -96,7 +97,8 @@ func main() {
 	}
 
 	start = time.Now()
-	ev := fw.Prepare(inst, comps, *seed)
+	sess := fw.PrepareSession(comps, *seed, *par)
+	ev := sess.Prepare(inst)
 	fmt.Printf("influence model (%s) prepared in %.1fs\n", comps, time.Since(start).Seconds())
 
 	set, m := fw.AssignPrepared(inst, ev, alg, nil)

@@ -66,6 +66,12 @@ type (
 	TrainingData = core.TrainingData
 	// Metrics are the per-assignment evaluation measurements.
 	Metrics = core.Metrics
+	// Session is the incremental online phase: it carries per-task and
+	// per-worker influence state across assignment instants, so an
+	// instant only pays for newly arrived entities. Open one with
+	// Framework.PrepareSession; evaluators are bit-identical to cold
+	// Framework.Prepare ones for the same seed.
+	Session = core.Session
 )
 
 // Train fits the three influence models and returns a ready framework.

@@ -216,9 +216,13 @@ func collect(p *Problem, pairs []Pair, taken func(i int) bool) *model.Assignment
 		if !taken(i) {
 			continue
 		}
+		// Pairs reference the instance by position, not by the entities'
+		// ID fields: streaming callers keep platform-stable (non-dense)
+		// IDs in their instances, and every metrics consumer indexes
+		// Inst.Workers/Inst.Tasks with these values.
 		out.Pairs = append(out.Pairs, model.Assignment{
-			Task:   p.Inst.Tasks[pr.T].ID,
-			Worker: p.Inst.Workers[pr.W].ID,
+			Task:   model.TaskID(pr.T),
+			Worker: model.WorkerID(pr.W),
 		})
 		out.Influence = append(out.Influence, p.influence(int(pr.W), int(pr.T)))
 		out.TravelKm = append(out.TravelKm, pr.Dist)

@@ -177,10 +177,53 @@ type Metrics struct {
 // component mask. The evaluator is reusable across algorithms; building
 // it is the "worker-task influence modeling" phase of DITA and is
 // deliberately excluded from the assignment CPU-time metric, matching
-// the paper's phase split.
+// the paper's phase split. Prepare is the cold path — every call rebuilds
+// the full per-instance state; streaming callers that run many instants
+// with carry-over pools should hold a Session (PrepareSession) instead.
 func (f *Framework) Prepare(inst *model.Instance, comps influence.Components, seed uint64) *influence.Evaluator {
 	return f.engine.Prepare(inst, comps, seed)
 }
+
+// Session carries the online phase's influence-modeling state across
+// assignment instants: per-task willingness rows and folded topic
+// vectors, and per-worker propagation state, keyed by stable identity
+// (see influence.Session). An instant pays only for newly arrived tasks
+// and workers; state for entities that left the pool is evicted. The
+// evaluators are bit-identical to cold Prepare ones for the same seed.
+type Session struct {
+	fw *Framework
+	is *influence.Session
+}
+
+// PrepareSession opens an incremental online-phase session under the
+// given component mask and base seed. parallelism bounds the worker pool
+// fresh per-entity state is computed on (<= 0 means all cores); results
+// are bit-identical at any setting.
+func (f *Framework) PrepareSession(comps influence.Components, seed uint64, parallelism int) *Session {
+	return &Session{fw: f, is: f.engine.NewSession(comps, seed, parallelism)}
+}
+
+// Prepare returns the evaluator for one instant, reusing cached state
+// for carried-over tasks and workers.
+func (s *Session) Prepare(inst *model.Instance) *influence.Evaluator {
+	return s.is.Evaluate(inst)
+}
+
+// Assign is the session-aware one-call path for an instant: prepare the
+// evaluator through the session cache, then run the algorithm. pairs may
+// be nil exactly as in AssignPrepared.
+func (s *Session) Assign(inst *model.Instance, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
+	return s.fw.AssignPrepared(inst, s.is.Evaluate(inst), alg, pairs)
+}
+
+// Sync maintains the session cache for an instant that runs no
+// assignment: arrivals are admitted ahead of the next round, departures
+// evicted (see influence.Session.Sync).
+func (s *Session) Sync(inst *model.Instance) { s.is.Sync(inst) }
+
+// Influence exposes the underlying influence session (cache
+// introspection for tests and benchmarks).
+func (s *Session) Influence() *influence.Session { return s.is }
 
 // AssignPrepared runs one algorithm against a prepared evaluator and
 // returns the assignment with its metrics. pairs may be nil, in which

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"dita/internal/assign"
@@ -208,6 +209,30 @@ func TestAssignDeterministic(t *testing.T) {
 		if a.Pairs[i] != b.Pairs[i] {
 			t.Fatalf("pair %d differs", i)
 		}
+	}
+}
+
+func TestSessionAssignMatchesColdPath(t *testing.T) {
+	// The session plumbing must be a pure caching layer: session Assign
+	// on an instance equals Prepare + AssignPrepared, and repeating the
+	// same instance through the warm cache changes nothing.
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	const seed = 3
+	wantSet, wantM := fw.AssignPrepared(inst, fw.Prepare(inst, influence.All, seed), assign.IA, nil)
+	sess := fw.PrepareSession(influence.All, seed, 2)
+	for round := 0; round < 2; round++ {
+		set, m := sess.Assign(inst, assign.IA, nil)
+		if !reflect.DeepEqual(set, wantSet) {
+			t.Fatalf("round %d: session assignment diverged from the cold path", round)
+		}
+		m.CPU, wantM.CPU = 0, 0
+		if m != wantM {
+			t.Fatalf("round %d: session metrics %+v, cold %+v", round, m, wantM)
+		}
+	}
+	if got, want := sess.Influence().CachedTasks(), len(inst.Tasks); got != want {
+		t.Errorf("session caches %d tasks, want %d", got, want)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"dita/internal/influence"
 	"dita/internal/model"
 	"dita/internal/parallel"
+	"dita/internal/randx"
 )
 
 // Params carries the experimental defaults of Table II plus the
@@ -348,7 +349,12 @@ func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst fun
 		if err != nil {
 			return nil, err
 		}
-		ev := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+		// A single-use session per job: the sweep fan-out above already
+		// saturates the pool, so the online phase runs at parallelism 1
+		// inside each job (bit-identical to any other setting). Per-day
+		// seeds mix the day in via randx.Mix rather than addition, so
+		// nearby days cannot collide with nearby base seeds.
+		ev := r.FW.PrepareSession(influence.All, randx.Mix(r.P.Seed, uint64(day)), 1).Prepare(inst)
 		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
 		ms := make([]core.Metrics, len(assign.Algorithms))
 		for ai, alg := range assign.Algorithms {
@@ -380,12 +386,15 @@ func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(
 			return nil, err
 		}
 		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
-		evFull := r.FW.Prepare(inst, influence.All, r.P.Seed+uint64(day))
+		// Single-use sessions per mask (see runComparison on why each job
+		// runs its online phase at parallelism 1).
+		daySeed := randx.Mix(r.P.Seed, uint64(day))
+		evFull := r.FW.PrepareSession(influence.All, daySeed, 1).Prepare(inst)
 		ms := make([]core.Metrics, len(masks))
 		for mi, mk := range masks {
 			ev := evFull
 			if mk != influence.All {
-				ev = r.FW.Prepare(inst, mk, r.P.Seed+uint64(day))
+				ev = r.FW.PrepareSession(mk, daySeed, 1).Prepare(inst)
 			}
 			set, m := r.FW.AssignPrepared(inst, ev, assign.IA, pairs)
 			// Rescore the realized assignment under the full model.

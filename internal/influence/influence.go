@@ -18,6 +18,7 @@ import (
 	"dita/internal/lda"
 	"dita/internal/mobility"
 	"dita/internal/model"
+	"dita/internal/parallel"
 	"dita/internal/rrr"
 )
 
@@ -86,6 +87,11 @@ type Engine struct {
 	// valve for the |W_G|×|S| matrix and preserves ≥95% of the mass on
 	// heavy-tailed visit distributions.
 	TopLocations int
+	// Parallelism bounds the worker pool one-shot Prepare calls use for
+	// per-task and per-worker state (<= 0 means all cores). The result is
+	// bit-identical at any setting; sessions take their own bound via
+	// NewSession.
+	Parallelism int
 }
 
 // rootCount is a compacted view of the RRR cover of one instance worker:
@@ -109,9 +115,10 @@ type Evaluator struct {
 	// thetaW[w], thetaT[t]: topic distributions.
 	thetaW [][]float64
 	thetaT [][]float64
-	// wilMat[t*nU+u] = Pwil(u, task t's location); float32 to halve the
-	// footprint of the |W_G|×|S| matrix.
-	wilMat []float32
+	// wilRows[t][u] = Pwil(u, task t's location); float32 to halve the
+	// footprint of the |W_G|×|S| matrix. Rows are owned by the session
+	// that built the evaluator, so a carried-over task costs no copy.
+	wilRows [][]float32
 	// wilColSum[t] = Σ_u Pwil(u, t) — used by the AW mask where the
 	// propagation factor is neutral.
 	wilColSum []float64
@@ -125,96 +132,33 @@ type Evaluator struct {
 }
 
 // Prepare computes the per-instance state for evaluating if(w, s) on any
-// feasible pair of the instance under the given component mask.
-// taskSeed makes per-task LDA fold-in deterministic.
-func (e *Engine) Prepare(inst *model.Instance, comps Components, taskSeed uint64) *Evaluator {
-	nW, nT := len(inst.Workers), len(inst.Tasks)
-	nU := e.Prop.Graph().N()
-	ev := &Evaluator{comps: comps, nW: nW, nT: nT, nU: nU}
-
-	ev.users = make([]int32, nW)
-	for i, w := range inst.Workers {
-		ev.users[i] = int32(w.User)
-	}
-
-	if comps&Affinity != 0 {
-		ev.thetaW = make([][]float64, nW)
-		for i, w := range inst.Workers {
-			if int(w.User) < len(e.ThetaUser) && e.ThetaUser[w.User] != nil {
-				ev.thetaW[i] = e.ThetaUser[w.User]
-			} else {
-				ev.thetaW[i] = uniformTopics(e.LDA.Topics())
-			}
-		}
-		ev.thetaT = make([][]float64, nT)
-		for j, s := range inst.Tasks {
-			doc := make([]int32, len(s.Categories))
-			for k, c := range s.Categories {
-				doc[k] = int32(c)
-			}
-			ev.thetaT[j] = e.LDA.Infer(doc, taskSeed+uint64(j)*0x9e37)
-		}
-	}
-
-	if comps&Willingness != 0 {
-		ev.wilMat = make([]float32, nT*nU)
-		ev.wilColSum = make([]float64, nT)
-		models := e.truncatedModels()
-		for t, s := range inst.Tasks {
-			row := ev.wilMat[t*nU : (t+1)*nU]
-			sum := 0.0
-			for u := 0; u < nU; u++ {
-				wm := models[u]
-				if wm == nil {
-					continue
-				}
-				v := wm.Willingness(s.Loc)
-				row[u] = float32(v)
-				sum += v
-			}
-			ev.wilColSum[t] = sum
-		}
-	}
-
-	if comps&Propagation != 0 {
-		ev.scale = 0
-		if n := e.Prop.NumSets(); n > 0 {
-			ev.scale = float64(nU) / float64(n)
-		}
-		ev.roots = make([][]rootCount, nW)
-		ev.propSum = make([]float64, nW)
-		for i := range inst.Workers {
-			u := ev.users[i]
-			ev.roots[i] = compactRoots(e.Prop, u)
-			ev.propSum[i] = propagationSum(ev.roots[i], u, ev.scale)
-		}
-	} else {
-		// The AP metric is still reported for propagation-free variants;
-		// compute it from the collection without letting it affect if().
-		ev.propSum = make([]float64, nW)
-		for i := range inst.Workers {
-			ev.propSum[i] = e.Prop.PropagationSum(int32(inst.Workers[i].User))
-		}
-	}
-	return ev
+// feasible pair of the instance under the given component mask. It is a
+// thin wrapper over a single-use Session, so a cold Prepare and a warm
+// session produce bit-identical evaluators: per-task LDA fold-in streams
+// are keyed by stable task identity (randx.Mix(seed, Task.ID)), never by
+// the task's position in the instance. Task IDs must therefore be unique
+// within the instance.
+func (e *Engine) Prepare(inst *model.Instance, comps Components, seed uint64) *Evaluator {
+	return e.NewSession(comps, seed, e.Parallelism).Evaluate(inst)
 }
 
 // truncatedModels returns per-user willingness models limited to the
-// TopLocations highest-stationary-probability locations.
-func (e *Engine) truncatedModels() []*mobility.WorkerModel {
+// TopLocations highest-stationary-probability locations, building them
+// on the shared pool (each user writes only its own slot).
+func (e *Engine) truncatedModels(par int) []*mobility.WorkerModel {
 	nU := e.Prop.Graph().N()
 	out := make([]*mobility.WorkerModel, nU)
-	for u := 0; u < nU; u++ {
+	parallel.For(par, nU, func(_, u int) {
 		wm := e.Wil.Worker(model.WorkerID(u))
 		if wm == nil {
-			continue
+			return
 		}
 		if e.TopLocations <= 0 || len(wm.Locs) <= e.TopLocations {
 			out[u] = wm
-			continue
+			return
 		}
 		out[u] = truncateModel(wm, e.TopLocations)
-	}
+	})
 	return out
 }
 
@@ -298,7 +242,7 @@ func (ev *Evaluator) Influence(w, t int) float64 {
 	switch {
 	case ev.comps&Propagation != 0 && ev.comps&Willingness != 0:
 		// Σ_{wi≠ws} Pwil(wi,s) · Ppro(ws,wi), via the RRR cover of ws.
-		row := ev.wilMat[t*ev.nU : (t+1)*ev.nU]
+		row := ev.wilRows[t]
 		self := ev.users[w]
 		for _, rc := range ev.roots[w] {
 			if rc.root == self {
@@ -315,7 +259,7 @@ func (ev *Evaluator) Influence(w, t int) float64 {
 		spread = ev.propSum[w]
 	case ev.comps&Willingness != 0:
 		// Propagation neutral (IA-AW): Σ_{wi≠ws} Pwil(wi, s).
-		spread = ev.wilColSum[t] - float64(ev.wilMat[t*ev.nU+int(ev.users[w])])
+		spread = ev.wilColSum[t] - float64(ev.wilRows[t][ev.users[w]])
 	default:
 		// Neither spread factor: the influence degenerates to affinity.
 		spread = 1

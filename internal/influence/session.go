@@ -1,0 +1,305 @@
+// Session is the incremental online phase: where Engine.Prepare treats
+// every assignment instant as cold — rebuilding the full |S|×|W_G|
+// willingness matrix, re-folding every task through LDA and re-extracting
+// every worker's RRR root list — a Session carries that per-entity state
+// across instants. The streaming protocol of the paper (Section VI) keeps
+// unassigned workers online and unexpired tasks open between instants, so
+// most of an instant's state was already computed at an earlier one; a
+// Session computes influence state only for newly arrived tasks and
+// workers and evicts entries the moment their task or worker leaves the
+// pool.
+//
+// Cache keys are stable identities, never instant-local positions: a task
+// is keyed by its Task.ID (which the streaming simulator keeps stable
+// across a task's whole lifetime) and a worker by its User id in the
+// social graph. Per-task LDA fold-in randomness is likewise keyed by
+// stable identity — the stream seed is randx.Mix(sessionSeed, taskID) —
+// so a task's topic distribution is the same number at every instant it
+// survives, whichever instant first computed it, and a cold rebuild
+// (Engine.Prepare) reproduces the session's state bit for bit.
+//
+// Fresh work runs in deterministic chunks on the shared internal/parallel
+// pool: each pending task or worker writes only to its own pre-inserted
+// cache entry and draws only from its identity-keyed stream, so the
+// resulting evaluator is bit-identical at any Parallelism setting.
+package influence
+
+import (
+	"fmt"
+
+	"dita/internal/mobility"
+	"dita/internal/model"
+	"dita/internal/parallel"
+	"dita/internal/randx"
+)
+
+// taskState is the cached per-task influence state: the task's folded
+// topic distribution (Affinity) and its willingness row plus column sum
+// over the whole social network (Willingness).
+type taskState struct {
+	gen    uint64
+	theta  []float64
+	row    []float32
+	colSum float64
+}
+
+// userState is the cached per-worker influence state, keyed by the
+// worker's social-graph user id: the compacted RRR root list and the
+// propagation sum Σ_{wi≠ws} Ppro(ws, wi).
+type userState struct {
+	gen     uint64
+	roots   []rootCount
+	propSum float64
+}
+
+// Session owns the carry-over influence state of the online phase. Create
+// one per streaming run (Engine.NewSession), call Evaluate once per
+// assignment instant, and the session computes state only for tasks and
+// workers it has not seen, evicting entries that left the pool.
+//
+// The evaluators a session returns are interchangeable with cold
+// Engine.Prepare ones: for the same instance, component mask and seed the
+// two are bit-identical (the equivalence tests assert this), because all
+// cached state is keyed by stable identity rather than by instant.
+//
+// A Session is not safe for concurrent use; build one per goroutine (they
+// share the immutable Engine).
+type Session struct {
+	eng   *Engine
+	comps Components
+	seed  uint64
+	par   int
+
+	// gen is the current instant's generation stamp; entries whose stamp
+	// is older at the end of Evaluate have left the pool and are evicted.
+	gen   uint64
+	scale float64
+	// models are the (lazily built, truncation-applied) per-user
+	// willingness models shared by every instant of the session.
+	models []*mobility.WorkerModel
+	tasks  map[uint64]*taskState
+	users  map[int32]*userState
+
+	// pendT/pendU are reusable scratch lists of cache misses; the
+	// parallel fresh-work phase iterates them by index.
+	pendT []pendingTask
+	pendU []pendingUser
+}
+
+type pendingTask struct {
+	key uint64
+	j   int // position in the current instance
+	st  *taskState
+}
+
+type pendingUser struct {
+	u  int32
+	st *userState
+}
+
+// NewSession returns an empty session for the given component mask and
+// base seed. parallelism bounds the worker pool used for fresh per-task
+// and per-worker state (<= 0 means all cores); the cached state and every
+// evaluator are bit-identical at any setting.
+func (e *Engine) NewSession(comps Components, seed uint64, parallelism int) *Session {
+	s := &Session{
+		eng:   e,
+		comps: comps,
+		seed:  seed,
+		par:   parallel.Workers(parallelism),
+		tasks: make(map[uint64]*taskState),
+		users: make(map[int32]*userState),
+	}
+	if n := e.Prop.NumSets(); n > 0 {
+		s.scale = float64(e.Prop.Graph().N()) / float64(n)
+	}
+	return s
+}
+
+// Components returns the component mask the session prepares for.
+func (s *Session) Components() Components { return s.comps }
+
+// CachedTasks returns how many tasks currently have cached state (the
+// open-task carry-over after the last Evaluate).
+func (s *Session) CachedTasks() int { return len(s.tasks) }
+
+// CachedWorkers returns how many distinct users currently have cached
+// state.
+func (s *Session) CachedWorkers() int { return len(s.users) }
+
+// Evaluate returns the evaluator for one assignment instant, reusing
+// cached state for every task and worker seen at an earlier instant and
+// computing fresh state — in deterministic parallel chunks — for the
+// rest. State for tasks and workers absent from inst is evicted.
+//
+// Task IDs must be unique within the instance and stable across the
+// instants of a session: a given Task.ID must always denote the same
+// task (location and categories), which is exactly what the streaming
+// simulator's platform-level identities provide.
+func (s *Session) Evaluate(inst *model.Instance) *Evaluator {
+	nW, nT := len(inst.Workers), len(inst.Tasks)
+	nU := s.eng.Prop.Graph().N()
+	s.gen++
+
+	ev := &Evaluator{comps: s.comps, nW: nW, nT: nT, nU: nU}
+	ev.users = make([]int32, nW)
+	for i, w := range inst.Workers {
+		ev.users[i] = int32(w.User)
+	}
+
+	s.admitUsers(ev.users)
+	s.admitTasks(inst)
+
+	if s.comps&Affinity != 0 {
+		ev.thetaW = make([][]float64, nW)
+		for i, w := range inst.Workers {
+			if int(w.User) < len(s.eng.ThetaUser) && s.eng.ThetaUser[w.User] != nil {
+				ev.thetaW[i] = s.eng.ThetaUser[w.User]
+			} else {
+				ev.thetaW[i] = uniformTopics(s.eng.LDA.Topics())
+			}
+		}
+		ev.thetaT = make([][]float64, nT)
+		for j := range inst.Tasks {
+			ev.thetaT[j] = s.tasks[uint64(inst.Tasks[j].ID)].theta
+		}
+	}
+	if s.comps&Willingness != 0 {
+		ev.wilRows = make([][]float32, nT)
+		ev.wilColSum = make([]float64, nT)
+		for j := range inst.Tasks {
+			st := s.tasks[uint64(inst.Tasks[j].ID)]
+			ev.wilRows[j] = st.row
+			ev.wilColSum[j] = st.colSum
+		}
+	}
+	ev.propSum = make([]float64, nW)
+	if s.comps&Propagation != 0 {
+		ev.scale = s.scale
+		ev.roots = make([][]rootCount, nW)
+	}
+	for i, u := range ev.users {
+		st := s.users[u]
+		if ev.roots != nil {
+			ev.roots[i] = st.roots
+		}
+		ev.propSum[i] = st.propSum
+	}
+
+	s.evict()
+	return ev
+}
+
+// Sync maintains the carry-over cache for an instant the platform skips
+// (no workers online or no tasks open): arrivals are admitted — their
+// state computed ahead of the next assignment round — and departures are
+// evicted, exactly as Evaluate would, without building an evaluator.
+func (s *Session) Sync(inst *model.Instance) {
+	s.gen++
+	users := make([]int32, len(inst.Workers))
+	for i, w := range inst.Workers {
+		users[i] = int32(w.User)
+	}
+	s.admitUsers(users)
+	s.admitTasks(inst)
+	s.evict()
+}
+
+// admitUsers stamps the instant's users and computes state for the ones
+// the session has never seen.
+func (s *Session) admitUsers(users []int32) {
+	s.pendU = s.pendU[:0]
+	for _, u := range users {
+		st, ok := s.users[u]
+		if !ok {
+			st = &userState{}
+			s.users[u] = st
+			s.pendU = append(s.pendU, pendingUser{u: u, st: st})
+		}
+		st.gen = s.gen
+	}
+	prop := s.comps&Propagation != 0
+	parallel.For(s.par, len(s.pendU), func(_, i int) {
+		p := s.pendU[i]
+		if prop {
+			p.st.roots = compactRoots(s.eng.Prop, p.u)
+			p.st.propSum = propagationSum(p.st.roots, p.u, s.scale)
+		} else {
+			// The AP metric is still reported for propagation-free
+			// variants; compute it from the collection without letting it
+			// affect if().
+			p.st.propSum = s.eng.Prop.PropagationSum(p.u)
+		}
+	})
+}
+
+// admitTasks stamps the instant's tasks and computes state for newly
+// arrived ones. Per-task randomness is keyed by stable task identity via
+// randx.Mix, so the computed state is independent of the task's position
+// in the instance and of which instant first computed it.
+func (s *Session) admitTasks(inst *model.Instance) {
+	if s.comps&(Affinity|Willingness) == 0 {
+		return
+	}
+	if s.comps&Willingness != 0 && s.models == nil {
+		s.models = s.eng.truncatedModels(s.par)
+	}
+	s.pendT = s.pendT[:0]
+	for j := range inst.Tasks {
+		key := uint64(inst.Tasks[j].ID)
+		st, ok := s.tasks[key]
+		if !ok {
+			st = &taskState{}
+			s.tasks[key] = st
+			s.pendT = append(s.pendT, pendingTask{key: key, j: j, st: st})
+		} else if st.gen == s.gen {
+			// Two tasks of one instance share an ID: the cache would
+			// silently serve one task's state for the other. Fail loudly —
+			// identity hygiene is the session layer's one precondition.
+			panic(fmt.Sprintf("influence: duplicate task ID %d in instance; per-task state is keyed by stable identity", inst.Tasks[j].ID))
+		}
+		st.gen = s.gen
+	}
+	nU := s.eng.Prop.Graph().N()
+	parallel.For(s.par, len(s.pendT), func(_, i int) {
+		p := s.pendT[i]
+		task := inst.Tasks[p.j]
+		if s.comps&Affinity != 0 {
+			doc := make([]int32, len(task.Categories))
+			for k, c := range task.Categories {
+				doc[k] = int32(c)
+			}
+			p.st.theta = s.eng.LDA.Infer(doc, randx.Mix(s.seed, p.key))
+		}
+		if s.comps&Willingness != 0 {
+			row := make([]float32, nU)
+			sum := 0.0
+			for u := 0; u < nU; u++ {
+				wm := s.models[u]
+				if wm == nil {
+					continue
+				}
+				v := wm.Willingness(task.Loc)
+				row[u] = float32(v)
+				sum += v
+			}
+			p.st.row, p.st.colSum = row, sum
+		}
+	})
+}
+
+// evict drops cached state whose task or worker was absent from the
+// current instant (assigned, expired or gone offline); carry-over memory
+// is therefore bounded by the live pool, not the run's history.
+func (s *Session) evict() {
+	for key, st := range s.tasks {
+		if st.gen != s.gen {
+			delete(s.tasks, key)
+		}
+	}
+	for u, st := range s.users {
+		if st.gen != s.gen {
+			delete(s.users, u)
+		}
+	}
+}

@@ -20,7 +20,9 @@ import (
 // network). IDs are dense: 0 <= id < NumWorkers.
 type WorkerID int32
 
-// TaskID identifies a spatial task within one time instance.
+// TaskID identifies a spatial task: dense within one snapshot instance,
+// or stable across a task's whole lifetime in the streaming simulator
+// (the influence session layer keys its per-task cache on it).
 type TaskID int32
 
 // VenueID identifies a venue (a check-in location that can spawn tasks).
@@ -48,7 +50,10 @@ func (t Task) Expiry() float64 { return t.Publish + t.Valid }
 // Worker is a worker w = (l, r) per Definition 2: a current location and a
 // reachable radius in kilometres. User is the identity of the worker in
 // the social network and historical records (stable across time
-// instances), while ID indexes the worker within one instance.
+// instances), while ID identifies the worker on the serving platform: a
+// dense snapshot index in single-instance pipelines, or a stable
+// platform-level arrival id in the streaming simulator (where a worker
+// keeps its ID across every instant it stays online).
 type Worker struct {
 	ID     WorkerID
 	User   WorkerID // stable user identity in the social graph
@@ -79,6 +84,10 @@ func (h History) SortByTime() {
 }
 
 // Assignment is one worker-task pair (s, w) of a spatial task assignment.
+// Task and Worker reference the instance positionally — they index the
+// Instance.Tasks and Instance.Workers slices of the instance the
+// assignment was computed for — so they remain meaningful when the
+// instance carries platform-stable (non-dense) entity IDs.
 type Assignment struct {
 	Task   TaskID
 	Worker WorkerID

@@ -9,10 +9,19 @@
 // This is the bridge between the paper's single-instance formulation
 // (internal/assign answers one instant) and what an operator would run
 // in production: a loop of instants with carry-over state.
+//
+// Entities keep platform-stable identities for their whole lifetime:
+// a worker's ID is assigned on arrival and a task keeps the ID it was
+// published under, at every instant, so the influence session layer
+// (core.Session) can cache per-entity state across instants instead of
+// rebuilding the online phase from scratch each round. Assignment pairs
+// reference the instant's snapshot positionally, and snapshot order
+// equals pool order, so retirement needs no id translation.
 package simulate
 
 import (
 	"fmt"
+	"time"
 
 	"dita/internal/assign"
 	"dita/internal/core"
@@ -48,8 +57,20 @@ type Config struct {
 	Step float64
 	// Horizon is the simulated duration in hours, starting at Start.
 	Start, Horizon float64
-	// Seed feeds the per-instant influence preparation.
+	// Seed feeds the influence session; per-task fold-in streams are
+	// derived from it and the task's stable identity (randx.Mix), so no
+	// per-instant seed exists to collide across instants.
 	Seed uint64
+	// Parallelism bounds the worker pool the online phase computes fresh
+	// per-entity influence state on (<= 0 means all cores). Results are
+	// bit-identical at any setting.
+	Parallelism int
+	// ColdPrepare disables the incremental session and rebuilds the full
+	// influence state every instant (a single-use session per round). It
+	// exists for equivalence testing and for benchmarking the cached
+	// online phase against the cold one; results are identical either
+	// way.
+	ColdPrepare bool
 }
 
 // InstantResult records one assignment instant.
@@ -57,7 +78,16 @@ type InstantResult struct {
 	At            float64
 	OnlineWorkers int
 	OpenTasks     int
-	Metrics       core.Metrics
+	// Prepare is the online-phase latency of the instant: the time spent
+	// building the influence evaluator (cached-session hits make this
+	// collapse for carried-over entities). Assignment time is in
+	// Metrics.CPU, matching the paper's phase split.
+	Prepare time.Duration
+	Metrics core.Metrics
+	// Pairs are the instant's matched worker-task pairs, referencing the
+	// instant's snapshot positionally (snapshot order == pool order at
+	// that instant).
+	Pairs []model.Assignment
 }
 
 // Result aggregates a whole run.
@@ -75,9 +105,14 @@ type Result struct {
 type Platform struct {
 	fw      *core.Framework
 	cfg     Config
-	workers []model.Worker // online, not yet assigned
-	tasks   []model.Task   // published, unexpired, unassigned
+	sess    *core.Session
+	workers []model.Worker // online, not yet assigned; ID is the stable arrival id
+	tasks   []model.Task   // published, unexpired, unassigned; ID stable since publication
 	nextTID model.TaskID
+	nextWID model.WorkerID
+	// usedW/usedT are reusable retirement marks sized to the pools, so
+	// the hot instant loop rebuilds no maps.
+	usedW, usedT []bool
 }
 
 // New returns an empty platform bound to a trained framework.
@@ -91,22 +126,34 @@ func New(fw *core.Framework, cfg Config) (*Platform, error) {
 	if cfg.Components == 0 {
 		cfg.Components = influence.All
 	}
-	return &Platform{fw: fw, cfg: cfg}, nil
+	p := &Platform{fw: fw, cfg: cfg}
+	if !cfg.ColdPrepare {
+		p.sess = fw.PrepareSession(cfg.Components, cfg.Seed, cfg.Parallelism)
+	}
+	return p, nil
 }
 
 // Run executes the instant loop over the arrival streams (each ordered
-// by time) and returns the aggregated result.
+// by time) and returns the aggregated result. Instants are indexed by
+// integer: instant i happens at Start + i*Step, so long horizons do not
+// accumulate floating-point drift.
 func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result, error) {
 	res := &Result{}
 	wi, ti := 0, 0
 	end := p.cfg.Start + p.cfg.Horizon
-	for now := p.cfg.Start; now <= end; now += p.cfg.Step {
-		// Admit arrivals up to this instant.
+	for i := 0; ; i++ {
+		now := p.cfg.Start + float64(i)*p.cfg.Step
+		if now > end {
+			break
+		}
+		// Admit arrivals up to this instant; identities are assigned here
+		// and stay stable for the entity's whole platform lifetime.
 		for wi < len(workers) && workers[wi].At <= now {
 			a := workers[wi]
 			p.workers = append(p.workers, model.Worker{
-				User: a.User, Loc: a.Loc, Radius: a.Radius,
+				ID: p.nextWID, User: a.User, Loc: a.Loc, Radius: a.Radius,
 			})
+			p.nextWID++
 			wi++
 		}
 		for ti < len(tasks) && tasks[ti].Publish <= now {
@@ -130,6 +177,12 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		p.tasks = kept
 
 		if len(p.workers) == 0 || len(p.tasks) == 0 {
+			// No assignment to run, but the session cache still tracks the
+			// pool: new arrivals are admitted (their influence state lands
+			// before the next busy instant) and departed entities evicted.
+			if p.sess != nil {
+				p.sess.Sync(&model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks})
+			}
 			res.Instants = append(res.Instants, InstantResult{
 				At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
 			})
@@ -137,13 +190,21 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		}
 
 		inst := p.instance(now)
-		ev := p.fw.Prepare(inst, p.cfg.Components, p.cfg.Seed+uint64(now*64))
+		prepStart := time.Now()
+		var ev *influence.Evaluator
+		if p.cfg.ColdPrepare {
+			ev = p.fw.PrepareSession(p.cfg.Components, p.cfg.Seed, p.cfg.Parallelism).Prepare(inst)
+		} else {
+			ev = p.sess.Prepare(inst)
+		}
+		prep := time.Since(prepStart)
 		set, m := p.fw.AssignPrepared(inst, ev, p.cfg.Algorithm, nil)
 		res.Instants = append(res.Instants, InstantResult{
-			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks), Metrics: m,
+			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
+			Prepare: prep, Metrics: m, Pairs: set.Pairs,
 		})
 		res.TotalAssigned += set.Len()
-		p.retire(inst, set)
+		p.retire(set)
 	}
 	// Tasks still open at the horizon that can never be served count as
 	// neither assigned nor expired; only actual expiries count against
@@ -154,47 +215,61 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 	return res, nil
 }
 
-// instance materializes the current pool as a model.Instance with dense
-// instance-local ids.
+// instance materializes the current pool as a model.Instance. Entities
+// keep their stable platform ids; position i of the instance is position
+// i of the pool, which is the instance-local mapping retire relies on.
 func (p *Platform) instance(now float64) *model.Instance {
 	inst := &model.Instance{Now: now}
-	inst.Workers = make([]model.Worker, len(p.workers))
-	for i, w := range p.workers {
-		w.ID = model.WorkerID(i)
-		inst.Workers[i] = w
-	}
-	inst.Tasks = make([]model.Task, len(p.tasks))
-	copy(inst.Tasks, p.tasks)
-	for i := range inst.Tasks {
-		inst.Tasks[i].ID = model.TaskID(i)
-	}
+	inst.Workers = append([]model.Worker(nil), p.workers...)
+	inst.Tasks = append([]model.Task(nil), p.tasks...)
 	return inst
 }
 
 // retire removes assigned workers and tasks from the pool (workers go
-// offline once assigned, tasks are served once).
-func (p *Platform) retire(inst *model.Instance, set *model.AssignmentSet) {
-	usedW := make(map[int]bool, set.Len())
-	usedT := make(map[int]bool, set.Len())
+// offline once assigned, tasks are served once). Pairs index the
+// instant's snapshot, whose order equals pool order. The mark slices are
+// reused across instants and reset while compacting, so the hot loop
+// allocates nothing once the pools reach steady size.
+func (p *Platform) retire(set *model.AssignmentSet) {
+	p.usedW = resize(p.usedW, len(p.workers))
+	p.usedT = resize(p.usedT, len(p.tasks))
 	for _, pr := range set.Pairs {
-		usedW[int(pr.Worker)] = true
-		usedT[int(pr.Task)] = true
+		p.usedW[pr.Worker] = true
+		p.usedT[pr.Task] = true
 	}
 	keptW := p.workers[:0]
 	for i, w := range p.workers {
-		if !usedW[i] {
+		used := p.usedW[i]
+		p.usedW[i] = false
+		if !used {
 			keptW = append(keptW, w)
 		}
 	}
 	p.workers = keptW
 	keptT := p.tasks[:0]
 	for i, t := range p.tasks {
-		if !usedT[i] {
+		used := p.usedT[i]
+		p.usedT[i] = false
+		if !used {
 			keptT = append(keptT, t)
 		}
 	}
 	p.tasks = keptT
 }
+
+// resize returns marks with length n, reusing its backing array when it
+// is large enough. Reused entries are already false: retire resets every
+// mark while compacting, and fresh allocations are zeroed.
+func resize(marks []bool, n int) []bool {
+	if cap(marks) < n {
+		return make([]bool, n)
+	}
+	return marks[:n]
+}
+
+// Session returns the platform's influence session, or nil when the
+// platform runs with ColdPrepare.
+func (p *Platform) Session() *core.Session { return p.sess }
 
 // Online returns the number of currently online (unassigned) workers.
 func (p *Platform) Online() int { return len(p.workers) }

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"reflect"
 	"testing"
 
 	"dita/internal/assign"
@@ -9,6 +10,7 @@ import (
 	"dita/internal/geo"
 	"dita/internal/lda"
 	"dita/internal/model"
+	"dita/internal/paralleltest"
 	"dita/internal/randx"
 )
 
@@ -191,6 +193,145 @@ func TestSmallerStepServesAtLeastAsWell(t *testing.T) {
 	coarse := run(7)
 	if fine.TotalAssigned < coarse.TotalAssigned {
 		t.Errorf("finer stepping assigned %d < coarse %d", fine.TotalAssigned, coarse.TotalAssigned)
+	}
+}
+
+// normalize strips the only legitimately run-dependent values — wall
+// clock measurements — so results can be compared bit for bit.
+func normalize(res *Result) *Result {
+	out := *res
+	out.Instants = append([]InstantResult(nil), res.Instants...)
+	for i := range out.Instants {
+		out.Instants[i].Prepare = 0
+		out.Instants[i].Metrics.CPU = 0
+	}
+	return &out
+}
+
+// TestSessionMatchesColdPrepareStreaming is the acceptance gate of the
+// incremental online phase: over a multi-instant run with arrivals,
+// expiries and carry-over, the warm session must produce identical
+// assignment sets and bit-identical metrics to rebuilding the influence
+// state cold every instant — at Parallelism 1, 2 and 8. (Evaluator-state
+// equality is asserted at the influence layer; here the equality covers
+// everything downstream of the evaluator.)
+func TestSessionMatchesColdPrepareStreaming(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 50, 11)
+	run := func(cold bool, par int) *Result {
+		p, err := New(fw, Config{
+			Algorithm: assign.IA, Step: 2, Start: 120, Horizon: 16,
+			Seed: 5, Parallelism: par, ColdPrepare: cold,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(res)
+	}
+	want := run(true, 1)
+	if want.TotalAssigned == 0 {
+		t.Fatal("equivalence run assigned nothing; streams too sparse to gate anything")
+	}
+	for _, par := range paralleltest.WorkerCounts {
+		if got := run(false, par); !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: session-backed run diverged from cold per-instant Prepare", par)
+		}
+		if got := run(true, par); !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: cold run not parallelism-invariant", par)
+		}
+	}
+}
+
+// TestRunParallelismInvariant registers the streaming loop with the
+// shared determinism harness.
+func TestRunParallelismInvariant(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 40, 3)
+	paralleltest.Invariant(t, func(par int) any {
+		p, err := New(fw, Config{
+			Algorithm: assign.EIA, Step: 2, Start: 120, Horizon: 14,
+			Seed: 8, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(res)
+	})
+}
+
+// TestLongHorizonDeterminismAndEviction runs several simulated days with
+// staggered arrivals and short task lifetimes, so the pool churns
+// through many carry-over generations: tasks expire unserved, workers
+// linger across instants, and the session cache must keep evicting. The
+// run must be deterministic run to run, the instant grid must not drift,
+// and the cache must end bounded by the final pool.
+func TestLongHorizonDeterminismAndEviction(t *testing.T) {
+	fw, data := testFramework(t)
+	rng := randx.New(13)
+	var ws []ArrivingWorker
+	var ts []ArrivingTask
+	const days = 4
+	for d := 0; d < days; d++ {
+		base := 120.0 + float64(d)*24
+		for i := 0; i < 25; i++ {
+			u := model.WorkerID(rng.Intn(data.Params.NumUsers))
+			ws = append(ws, ArrivingWorker{
+				User: u, Loc: data.Homes[u], Radius: 25, At: base + rng.Float64()*20,
+			})
+			v := data.Venues[rng.Intn(len(data.Venues))]
+			ts = append(ts, ArrivingTask{
+				Loc: v.Loc, Publish: base + rng.Float64()*20, Valid: 1 + rng.Float64()*4,
+				Categories: v.Categories, Venue: v.ID,
+			})
+		}
+	}
+	sortByAt(ws)
+	sortByPublish(ts)
+	run := func() (*Result, *Platform) {
+		p, err := New(fw, Config{
+			Algorithm: assign.IA, Step: 1.5, Start: 120, Horizon: float64(days)*24 + 6,
+			Seed: 21, Parallelism: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(res), p
+	}
+	a, pa := run()
+	b, _ := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("long-horizon run is not deterministic")
+	}
+	if a.TotalAssigned == 0 || a.ExpiredTasks == 0 {
+		t.Fatalf("horizon covered no churn: %d assigned, %d expired — the test needs both",
+			a.TotalAssigned, a.ExpiredTasks)
+	}
+	// The instant grid is an exact integer lattice: no float drift.
+	for i, in := range a.Instants {
+		if want := 120 + float64(i)*1.5; in.At != want {
+			t.Fatalf("instant %d at %v, want exactly %v", i, in.At, want)
+		}
+	}
+	// Carry-over eviction: the session cache cannot exceed the platform's
+	// final live pool (every assigned or expired entity must be gone).
+	sess := pa.Session().Influence()
+	if sess.CachedTasks() > pa.Open() {
+		t.Errorf("session caches %d tasks but only %d are open", sess.CachedTasks(), pa.Open())
+	}
+	if sess.CachedWorkers() > pa.Online() {
+		t.Errorf("session caches %d workers but only %d are online", sess.CachedWorkers(), pa.Online())
 	}
 }
 
