@@ -157,6 +157,20 @@ func FeasiblePairs(inst *Instance, speedKmH float64) []assign.Pair {
 	return assign.FeasiblePairs(inst, speedKmH)
 }
 
+// PairIndex carries the feasible-pair set across the instants of a
+// streaming run, paying only for arrivals, retirements and deadline
+// decay; its output is bit-identical to FeasiblePairs on each instant.
+// Sessions maintain one automatically (Session.Pairs / Session.Assign);
+// the type is exported for callers that run their own instant loop.
+type PairIndex = assign.PairIndex
+
+// NewPairIndex returns an empty incremental feasible-pair index for the
+// given travel speed (km/h; <=0 means 5). See assign.PairIndex for the
+// identity preconditions streaming callers must uphold.
+func NewPairIndex(speedKmH float64) *PairIndex {
+	return assign.NewPairIndex(speedKmH)
+}
+
 // Streaming simulation: a platform loop with carry-over state, where a
 // worker stays online until assigned and a task remains available until
 // it expires.

@@ -90,9 +90,14 @@ type Problem struct {
 	// non-positive values default to 5 km/h (the paper's setting).
 	SpeedKmH float64
 	// Pairs optionally carries precomputed feasible pairs so several
-	// algorithms can share one feasibility computation; when nil, Solve
-	// computes them.
+	// algorithms can share one feasibility computation; when nil and
+	// HasPairs is false, Solve computes them.
 	Pairs []Pair
+	// HasPairs marks Pairs as authoritative even when nil: a precomputed
+	// zero-feasibility pair set (built with `var pairs []Pair`) is nil,
+	// and without this flag Solve could not tell it from "not computed"
+	// and would silently rescan the instance.
+	HasPairs bool
 }
 
 func (p *Problem) speed() float64 {
@@ -141,7 +146,7 @@ func FeasiblePairs(inst *model.Instance, speedKmH float64) []Pair {
 // per-pair influence and travel distance filled in.
 func Solve(alg Algorithm, p *Problem) *model.AssignmentSet {
 	pairs := p.Pairs
-	if pairs == nil {
+	if pairs == nil && !p.HasPairs {
 		pairs = FeasiblePairs(p.Inst, p.speed())
 	}
 	switch alg {

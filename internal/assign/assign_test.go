@@ -96,6 +96,47 @@ func TestFeasiblePairsDeadline(t *testing.T) {
 	}
 }
 
+// TestSolveHasPairsAuthoritative: a precomputed-but-empty pair set must
+// not trigger a silent feasibility rescan. A zero-feasibility instance
+// yields a nil pair slice from FeasiblePairs; with HasPairs set, Solve
+// must take it at face value — observable on a well-connected instance,
+// where a rescan would assign tasks and the authoritative empty set must
+// assign none.
+func TestSolveHasPairsAuthoritative(t *testing.T) {
+	// Zero-feasibility instance: the precomputed set is legitimately nil.
+	sparse := &model.Instance{
+		Now:     0,
+		Workers: []model.Worker{{ID: 0, Loc: geo.Point{}, Radius: 1}},
+		Tasks:   []model.Task{{ID: 0, Loc: geo.Point{X: 50}, Publish: 0, Valid: 1}},
+	}
+	var precomputed []Pair
+	precomputed = FeasiblePairs(sparse, 5)
+	if precomputed != nil {
+		t.Fatalf("instance is not zero-feasibility: %v", precomputed)
+	}
+	for _, alg := range Algorithms {
+		prob := &Problem{Inst: sparse, Influence: syntheticInfluence(1),
+			SpeedKmH: 5, Pairs: precomputed, HasPairs: true}
+		if got := Solve(alg, prob).Len(); got != 0 {
+			t.Errorf("%v assigned %d on an authoritative empty pair set", alg, got)
+		}
+	}
+
+	// Dense instance: FeasiblePairs would find plenty, so any assignment
+	// proves Solve re-entered it behind the caller's back.
+	dense := randomInstance(12, 12, 3)
+	if len(FeasiblePairs(dense, 5)) == 0 {
+		t.Fatal("dense instance has no feasible pairs; the probe cannot detect a rescan")
+	}
+	for _, alg := range Algorithms {
+		prob := &Problem{Inst: dense, Influence: syntheticInfluence(1),
+			SpeedKmH: 5, Pairs: nil, HasPairs: true}
+		if got := Solve(alg, prob).Len(); got != 0 {
+			t.Errorf("%v recomputed feasibility despite HasPairs (assigned %d)", alg, got)
+		}
+	}
+}
+
 func validate(t *testing.T, set *model.AssignmentSet, inst *model.Instance) {
 	t.Helper()
 	if err := set.Validate(len(inst.Tasks), len(inst.Workers)); err != nil {

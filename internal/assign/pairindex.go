@@ -1,0 +1,421 @@
+package assign
+
+import (
+	"fmt"
+
+	"dita/internal/geo"
+	"dita/internal/model"
+)
+
+// PairIndex maintains the feasible-pair set incrementally across the
+// assignment instants of a streaming run. FeasiblePairs answers one
+// instant from scratch — every worker re-queries the task grid, every
+// candidate re-pays a distance and a deadline check — although under the
+// paper's protocol (Section V) the pools barely change between instants:
+// a worker stays online until assigned, a task stays open until served
+// or expired. A PairIndex carries the pair set over and, per instant,
+// pays only for the change:
+//
+//   - arrival: a newly admitted worker is scanned against the standing
+//     task grid, a newly published task against the standing worker grid
+//     (each pair is discovered exactly once, whichever side arrived
+//     second);
+//   - retirement: pairs whose worker was assigned or whose task was
+//     served/expired are dropped when their owner leaves the pool —
+//     departures are detected by a linear merge of the previous and
+//     current pool ID lists, not by per-entity map probes;
+//   - expiry: the deadline term now + d/speed <= s.p + s.ϕ decays as now
+//     advances; each pair stores its travel slack d/speed once, and the
+//     emission walk re-evaluates the exact FeasiblePairs expression per
+//     pair, dropping failures from storage permanently (the deadline
+//     only decays, so one failure is final).
+//
+// Deadline decay deliberately has no side structure (an earlier
+// revision kept a min-heap of per-pair deadlines, as the issue
+// sketched): emission must walk every live pair anyway to materialize
+// the instant's positional output — pool compaction shifts positions
+// every instant — so the one extra float compare is free, while heap
+// maintenance cost O(log n) per pair and profiled as half the index's
+// total upkeep.
+//
+// The emitted pairs are bit-identical to FeasiblePairs on the same
+// instance: the range predicate is the same Dist2(w,s) <= r² the
+// immutable grid uses, distances are computed with the same operand
+// order, and the deadline compare reuses the exact cold expression —
+// float rounding at the boundary cannot diverge.
+//
+// Preconditions (the streaming platform and dataset snapshots provide
+// all of them; violations panic):
+//
+//   - entity IDs are stable identities: a Worker.ID / Task.ID always
+//     denotes the same worker/task, whose Loc, Radius, Publish and Valid
+//     never change;
+//   - IDs appear in strictly increasing order within an instance (pool
+//     order == ID order), which is what makes the merge-diff linear and
+//     the per-worker pair lists position-sorted;
+//   - a newly admitted task's ID exceeds every task ID the index has
+//     ever seen (tasks never re-enter under an old identity);
+//   - Instance.Now never decreases across Updates: deadline-failed
+//     pairs are dropped from storage permanently, which is only sound
+//     while the clock moves forward (replay an earlier instant with a
+//     fresh index instead).
+//
+// A PairIndex is not safe for concurrent use. The slice Update returns
+// is reused by the next Update.
+type PairIndex struct {
+	speed float64
+
+	// liveW/liveT are the standing per-entity states, aligned with the
+	// previous instant's pool positions; prevW/prevT are the matching ID
+	// lists. The next Update diffs its pool against them with one linear
+	// merge (IDs are monotone in pool order), so steady-state upkeep
+	// costs slice walks, never per-entity map probes.
+	liveW []*pairWorker
+	liveT []*pairTask
+	prevW []model.WorkerID
+	prevT []model.TaskID
+
+	// workers/tasks resolve stable IDs for churn-sized operations only:
+	// grid-scan candidates during admission.
+	workers map[model.WorkerID]*pairWorker
+	tasks   map[model.TaskID]*pairTask
+	maxTask model.TaskID // largest task ID ever admitted
+
+	workerGrid *geo.MutableGrid // live worker locations, keyed by Worker.ID
+	taskGrid   *geo.MutableGrid // live task locations, keyed by Task.ID
+	maxRadius  float64          // largest worker radius ever seen
+
+	// lastNow enforces the monotone-clock precondition; deadline-dead
+	// pairs are gone for good, so serving an earlier instant would
+	// silently emit fewer pairs than the cold scan.
+	lastNow float64
+	started bool
+
+	// Reusable per-Update scratch. Emission resolves task IDs to pool
+	// positions through posBuf, a dense array over the live ID window
+	// [minID, maxID] — task IDs are monotone, so the window stays near
+	// the pool size and the per-pair lookup is an array index, not a map
+	// probe (which would cost as much as the distance computation the
+	// index saves). taskPos is the fallback for pathologically sparse
+	// windows.
+	posBuf  []int32
+	taskPos map[model.TaskID]int32
+	buf     []int32
+	freshW  []int32
+	freshT  []int32
+	nextW   []*pairWorker
+	nextT   []*pairTask
+	out     []Pair
+}
+
+// pairWorker is the standing state of one live worker: its immutable
+// geometry and its feasible pairs, sorted by task ID (== task pool
+// position, by the monotone-ID precondition).
+type pairWorker struct {
+	id     model.WorkerID
+	loc    geo.Point
+	radius float64
+	pairs  []pairEntry
+}
+
+// pairEntry is one stored feasible pair. slack is dist/speed — the
+// travel-time term of the deadline check, computed once so every
+// revalidation reuses the identical float.
+type pairEntry struct {
+	task   model.TaskID
+	dist   float64
+	slack  float64
+	expiry float64
+}
+
+// pairTask is the standing state of one live task.
+type pairTask struct {
+	id     model.TaskID
+	loc    geo.Point
+	expiry float64
+}
+
+// NewPairIndex returns an empty incremental feasible-pair index for the
+// given travel speed (non-positive defaults to 5 km/h, as everywhere
+// else).
+func NewPairIndex(speedKmH float64) *PairIndex {
+	if speedKmH <= 0 {
+		speedKmH = 5
+	}
+	return &PairIndex{
+		speed:   speedKmH,
+		workers: make(map[model.WorkerID]*pairWorker),
+		tasks:   make(map[model.TaskID]*pairTask),
+		maxTask: -1,
+		taskPos: make(map[model.TaskID]int32),
+	}
+}
+
+// CachedWorkers returns the number of workers with standing state.
+func (ix *PairIndex) CachedWorkers() int { return len(ix.workers) }
+
+// CachedTasks returns the number of tasks with standing state.
+func (ix *PairIndex) CachedTasks() int { return len(ix.tasks) }
+
+// CachedPairs returns the number of stored pairs (live plus any not yet
+// compacted since their task left or their deadline passed).
+func (ix *PairIndex) CachedPairs() int {
+	n := 0
+	for _, w := range ix.liveW {
+		n += len(w.pairs)
+	}
+	return n
+}
+
+// Update advances the index to one instant — admitting arrivals,
+// dropping retired and expired entities, revalidating decayed deadlines
+// — and returns the instant's feasible pairs, positional and sorted by
+// (worker, task) exactly as FeasiblePairs produces them. The returned
+// slice is reused by the next Update; it is nil when no pair is
+// feasible, matching the cold scan's shape.
+func (ix *PairIndex) Update(inst *model.Instance) []Pair {
+	now := inst.Now
+	if ix.started && now < ix.lastNow {
+		panic(fmt.Sprintf("assign: PairIndex clock moved backwards (%v after %v); deadline-dead pairs are dropped permanently, so replays need a fresh index", now, ix.lastNow))
+	}
+	ix.lastNow, ix.started = now, true
+	newWorkers := ix.diffWorkers(inst)
+	newTasks := ix.diffTasks(inst)
+	ix.admitTasks(inst, newTasks, now)
+	ix.admitWorkers(inst, newWorkers, now)
+	return ix.emit(inst, now)
+}
+
+// diffWorkers merges the instant's worker pool against the previous
+// one: both are sorted by ID, so one linear walk classifies every
+// worker as carried over (state pointer moves to its new position),
+// departed (state, grid entry and pairs dropped) or new (returned by
+// pool position for admission). It also folds the instant's radii into
+// the conservative query radius used by the standing-worker scans.
+func (ix *PairIndex) diffWorkers(inst *model.Instance) []int32 {
+	fresh := ix.freshW[:0]
+	next := ix.nextW[:0]
+	j := 0
+	prev := model.WorkerID(-1)
+	for i, w := range inst.Workers {
+		if w.ID <= prev {
+			panic(fmt.Sprintf("assign: worker IDs out of order in instance (%d after %d); PairIndex requires pool order == ID order", w.ID, prev))
+		}
+		prev = w.ID
+		if w.Radius > ix.maxRadius {
+			ix.maxRadius = w.Radius
+		}
+		for j < len(ix.prevW) && ix.prevW[j] < w.ID {
+			ix.dropWorker(ix.liveW[j])
+			j++
+		}
+		if j < len(ix.prevW) && ix.prevW[j] == w.ID {
+			next = append(next, ix.liveW[j])
+			j++
+			continue
+		}
+		st := &pairWorker{id: w.ID, loc: w.Loc, radius: w.Radius}
+		ix.workers[w.ID] = st
+		next = append(next, st)
+		fresh = append(fresh, int32(i))
+	}
+	for ; j < len(ix.prevW); j++ {
+		ix.dropWorker(ix.liveW[j])
+	}
+	ix.nextW, ix.liveW = ix.liveW[:0], next
+	ix.prevW = ix.prevW[:0]
+	for _, w := range inst.Workers {
+		ix.prevW = append(ix.prevW, w.ID)
+	}
+	ix.freshW = fresh
+	return fresh
+}
+
+func (ix *PairIndex) dropWorker(st *pairWorker) {
+	delete(ix.workers, st.id)
+	ix.workerGrid.Remove(int32(st.id))
+}
+
+// diffTasks is diffWorkers for the task pool, additionally enforcing
+// that admitted task IDs are fresh (never seen before), which keeps the
+// per-worker pair lists append-sorted.
+func (ix *PairIndex) diffTasks(inst *model.Instance) []int32 {
+	fresh := ix.freshT[:0]
+	next := ix.nextT[:0]
+	j := 0
+	prev := model.TaskID(-1)
+	for i, t := range inst.Tasks {
+		if t.ID <= prev {
+			panic(fmt.Sprintf("assign: task IDs out of order in instance (%d after %d); PairIndex requires pool order == ID order", t.ID, prev))
+		}
+		prev = t.ID
+		for j < len(ix.prevT) && ix.prevT[j] < t.ID {
+			ix.dropTask(ix.liveT[j])
+			j++
+		}
+		if j < len(ix.prevT) && ix.prevT[j] == t.ID {
+			next = append(next, ix.liveT[j])
+			j++
+			continue
+		}
+		if t.ID <= ix.maxTask {
+			panic(fmt.Sprintf("assign: task ID %d re-admitted after leaving the pool (max ever seen %d); PairIndex requires fresh, increasing task IDs", t.ID, ix.maxTask))
+		}
+		ix.maxTask = t.ID
+		st := &pairTask{id: t.ID, loc: t.Loc, expiry: t.Expiry()}
+		ix.tasks[t.ID] = st
+		next = append(next, st)
+		fresh = append(fresh, int32(i))
+	}
+	for ; j < len(ix.prevT); j++ {
+		ix.dropTask(ix.liveT[j])
+	}
+	ix.nextT, ix.liveT = ix.liveT[:0], next
+	ix.prevT = ix.prevT[:0]
+	for _, t := range inst.Tasks {
+		ix.prevT = append(ix.prevT, t.ID)
+	}
+	ix.freshT = fresh
+	return fresh
+}
+
+func (ix *PairIndex) dropTask(st *pairTask) {
+	delete(ix.tasks, st.id)
+	ix.taskGrid.Remove(int32(st.id))
+}
+
+// admitTasks scans each newly published task against the standing
+// worker grid (new workers are not inserted yet, so new×new pairs are
+// left for admitWorkers) and inserts it into the task grid.
+func (ix *PairIndex) admitTasks(inst *model.Instance, fresh []int32, now float64) {
+	if len(fresh) == 0 {
+		return
+	}
+	if ix.taskGrid == nil {
+		ix.taskGrid = geo.NewMutableGrid(ix.gridCell())
+	}
+	for _, j := range fresh {
+		t := inst.Tasks[j]
+		if ix.workerGrid != nil {
+			ix.buf = ix.workerGrid.Within(t.Loc, ix.maxRadius, ix.buf[:0])
+			for _, wid := range ix.buf {
+				we := ix.workers[model.WorkerID(wid)]
+				// The conservative maxRadius query over-approximates;
+				// re-check with the worker's own radius, the same
+				// squared-distance predicate the cold grid applies.
+				if geo.Dist2(we.loc, t.Loc) > we.radius*we.radius {
+					continue
+				}
+				ix.admitPair(we, t.ID, we.loc, t.Loc, t.Expiry(), now)
+			}
+		}
+		ix.taskGrid.Insert(int32(t.ID), t.Loc)
+	}
+}
+
+// admitWorkers scans each newly admitted worker against the task grid —
+// which at this point holds standing and new tasks alike — and inserts
+// it into the worker grid.
+func (ix *PairIndex) admitWorkers(inst *model.Instance, fresh []int32, now float64) {
+	if len(fresh) == 0 {
+		return
+	}
+	if ix.workerGrid == nil {
+		ix.workerGrid = geo.NewMutableGrid(ix.gridCell())
+	}
+	for _, i := range fresh {
+		w := inst.Workers[i]
+		we := ix.liveW[i]
+		if ix.taskGrid != nil {
+			ix.buf = ix.taskGrid.Within(w.Loc, w.Radius, ix.buf[:0])
+			for _, tid := range ix.buf {
+				te := ix.tasks[model.TaskID(tid)]
+				ix.admitPair(we, model.TaskID(tid), w.Loc, te.loc, te.expiry, now)
+			}
+		}
+		ix.workerGrid.Insert(int32(w.ID), w.Loc)
+	}
+}
+
+// admitPair records one range-feasible pair if it also meets the
+// deadline at the admission instant (the deadline only decays, so a pair
+// infeasible now can never become feasible). Appends keep the worker's
+// list sorted: admitted task IDs are fresh and increasing, and the grid
+// scan returns standing task IDs ascending.
+func (ix *PairIndex) admitPair(we *pairWorker, t model.TaskID, wLoc, tLoc geo.Point, expiry, now float64) {
+	d := geo.Dist(wLoc, tLoc)
+	slack := d / ix.speed
+	if now+slack > expiry {
+		return
+	}
+	we.pairs = append(we.pairs, pairEntry{task: t, dist: d, slack: slack, expiry: expiry})
+}
+
+// gridCell derives the bucket size for a lazily created grid from the
+// radii seen so far. Matching the largest query radius keeps a radius
+// query at ~3×3 bucket probes; finer cells would shrink the candidate
+// lists but pay more hash probes per query than the distance checks
+// they avoid.
+func (ix *PairIndex) gridCell() float64 {
+	if ix.maxRadius > 0 {
+		return ix.maxRadius
+	}
+	return 1
+}
+
+// emit walks the live pool in position order and materializes the
+// instant's pair list, compacting out entries whose task departed and —
+// with the exact FeasiblePairs expression — entries whose deadline has
+// decayed past now (final, since the deadline only decays).
+func (ix *PairIndex) emit(inst *model.Instance, now float64) []Pair {
+	var minID model.TaskID
+	width := 0
+	if n := len(inst.Tasks); n > 0 {
+		minID = inst.Tasks[0].ID
+		width = int(inst.Tasks[n-1].ID-minID) + 1
+		if width > 4*n+1024 {
+			width = 0 // sparse window: fall back to the map
+		}
+	}
+	if width > 0 {
+		if cap(ix.posBuf) < width {
+			ix.posBuf = make([]int32, width)
+		}
+		ix.posBuf = ix.posBuf[:width]
+		for k := range ix.posBuf {
+			ix.posBuf[k] = -1
+		}
+		for j, t := range inst.Tasks {
+			ix.posBuf[t.ID-minID] = int32(j)
+		}
+	} else {
+		clear(ix.taskPos)
+		for j, t := range inst.Tasks {
+			ix.taskPos[t.ID] = int32(j)
+		}
+	}
+	ix.out = ix.out[:0]
+	for i, we := range ix.liveW {
+		kept := we.pairs[:0]
+		for _, pe := range we.pairs {
+			pos := int32(-1)
+			if width > 0 {
+				if off := pe.task - minID; off >= 0 && int(off) < width {
+					pos = ix.posBuf[off]
+				}
+			} else if p, live := ix.taskPos[pe.task]; live {
+				pos = p
+			}
+			if pos < 0 || now+pe.slack > pe.expiry {
+				continue
+			}
+			kept = append(kept, pe)
+			ix.out = append(ix.out, Pair{W: int32(i), T: pos, Dist: pe.dist})
+		}
+		we.pairs = kept
+	}
+	if len(ix.out) == 0 {
+		return nil
+	}
+	return ix.out
+}

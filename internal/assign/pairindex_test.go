@@ -1,0 +1,221 @@
+package assign
+
+import (
+	"reflect"
+	"testing"
+
+	"dita/internal/geo"
+	"dita/internal/model"
+	"dita/internal/randx"
+)
+
+// churnPlatform mimics the streaming platform's pool mechanics for the
+// index tests: stable increasing IDs, arrival admission, task expiry,
+// and retirement of matched entities — pool order always equals ID
+// order.
+type churnPlatform struct {
+	workers []model.Worker
+	tasks   []model.Task
+	nextW   model.WorkerID
+	nextT   model.TaskID
+}
+
+func (c *churnPlatform) addWorker(loc geo.Point, radius float64) {
+	c.workers = append(c.workers, model.Worker{
+		ID: c.nextW, User: c.nextW, Loc: loc, Radius: radius,
+	})
+	c.nextW++
+}
+
+func (c *churnPlatform) addTask(loc geo.Point, publish, valid float64) {
+	c.tasks = append(c.tasks, model.Task{
+		ID: c.nextT, Loc: loc, Publish: publish, Valid: valid,
+	})
+	c.nextT++
+}
+
+func (c *churnPlatform) expire(now float64) {
+	kept := c.tasks[:0]
+	for _, t := range c.tasks {
+		if t.Expiry() >= now {
+			kept = append(kept, t)
+		}
+	}
+	c.tasks = kept
+}
+
+// retire drops the workers and tasks at the given pool positions
+// (mimicking an assignment round).
+func (c *churnPlatform) retire(wPos, tPos map[int]bool) {
+	keptW := c.workers[:0]
+	for i, w := range c.workers {
+		if !wPos[i] {
+			keptW = append(keptW, w)
+		}
+	}
+	c.workers = keptW
+	keptT := c.tasks[:0]
+	for j, t := range c.tasks {
+		if !tPos[j] {
+			keptT = append(keptT, t)
+		}
+	}
+	c.tasks = keptT
+}
+
+func (c *churnPlatform) instance(now float64) *model.Instance {
+	inst := &model.Instance{Now: now}
+	inst.Workers = append([]model.Worker(nil), c.workers...)
+	inst.Tasks = append([]model.Task(nil), c.tasks...)
+	return inst
+}
+
+// TestIncrementalPairIndexMatchesColdScan is the tentpole's acceptance
+// gate at the assign layer: across a 220-instant churn of arrivals,
+// expiries and retirements, every Update must equal the cold
+// FeasiblePairs scan bit for bit — same pairs, same order, same
+// distances, same nil-when-empty shape.
+func TestIncrementalPairIndexMatchesColdScan(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		rng := randx.New(seed)
+		plat := &churnPlatform{}
+		ix := NewPairIndex(5)
+		const step = 0.25
+		sawPairs, sawEmpty := false, false
+		for i := 0; i < 220; i++ {
+			now := float64(i) * step
+			// Arrivals: short task lifetimes so deadlines decay and the
+			// expiry heap fires mid-run, not just at pool departure.
+			for n := rng.Intn(4); n > 0; n-- {
+				plat.addWorker(geo.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+					2+rng.Float64()*20)
+			}
+			for n := rng.Intn(4); n > 0; n-- {
+				plat.addTask(geo.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+					now, 0.5+rng.Float64()*4)
+			}
+			plat.expire(now)
+			inst := plat.instance(now)
+
+			got := ix.Update(inst)
+			want := FeasiblePairs(inst, 5)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d instant %d (now=%v): incremental %v diverged from cold %v",
+					seed, i, now, got, want)
+			}
+			if len(want) > 0 {
+				sawPairs = true
+			} else {
+				sawEmpty = true
+			}
+
+			// Retire a random matching-like subset: distinct workers and
+			// tasks drawn from the feasible pairs.
+			wPos, tPos := map[int]bool{}, map[int]bool{}
+			for _, pr := range want {
+				if rng.Float64() < 0.4 && !wPos[int(pr.W)] && !tPos[int(pr.T)] {
+					wPos[int(pr.W)] = true
+					tPos[int(pr.T)] = true
+				}
+			}
+			plat.retire(wPos, tPos)
+		}
+		if !sawPairs || !sawEmpty {
+			t.Fatalf("seed %d: churn covered pairs=%v empty=%v — the test needs both regimes",
+				seed, sawPairs, sawEmpty)
+		}
+		if ix.CachedWorkers() != len(plat.workers) || ix.CachedTasks() != len(plat.tasks) {
+			t.Errorf("seed %d: index carries %d workers / %d tasks, pool has %d / %d",
+				seed, ix.CachedWorkers(), ix.CachedTasks(), len(plat.workers), len(plat.tasks))
+		}
+	}
+}
+
+// TestIncrementalPairIndexEmptyRegimes: instants with no workers, no
+// tasks, or neither keep the index consistent and return nil like the
+// cold scan.
+func TestIncrementalPairIndexEmptyRegimes(t *testing.T) {
+	ix := NewPairIndex(5)
+	if got := ix.Update(&model.Instance{Now: 0}); got != nil {
+		t.Fatalf("empty instance returned %v", got)
+	}
+	plat := &churnPlatform{}
+	plat.addWorker(geo.Point{X: 1, Y: 1}, 10)
+	if got := ix.Update(plat.instance(1)); got != nil {
+		t.Fatalf("worker-only instance returned %v", got)
+	}
+	plat.addTask(geo.Point{X: 2, Y: 2}, 1, 5)
+	inst := plat.instance(2)
+	got := ix.Update(inst)
+	want := FeasiblePairs(inst, 5)
+	if !reflect.DeepEqual(got, want) || len(got) != 1 {
+		t.Fatalf("pair after empty regimes: got %v want %v", got, want)
+	}
+	// Drop both; the index must evict down to nothing.
+	if got := ix.Update(&model.Instance{Now: 3}); got != nil {
+		t.Fatalf("re-emptied instance returned %v", got)
+	}
+	if ix.CachedWorkers() != 0 || ix.CachedTasks() != 0 || ix.CachedPairs() != 0 {
+		t.Errorf("index retains %d workers, %d tasks, %d pairs after total departure",
+			ix.CachedWorkers(), ix.CachedTasks(), ix.CachedPairs())
+	}
+}
+
+// TestIncrementalPairIndexDeadlineDecay: a pair feasible at admission
+// must disappear at exactly the instant the cold predicate fails, with
+// the task still open.
+func TestIncrementalPairIndexDeadlineDecay(t *testing.T) {
+	ix := NewPairIndex(5)
+	plat := &churnPlatform{}
+	plat.addWorker(geo.Point{}, 100)
+	// 10 km away at 5 km/h = 2 h travel; published at 0, valid 5 h:
+	// feasible while now <= 3.
+	plat.addTask(geo.Point{X: 10}, 0, 5)
+	for i, now := range []float64{0, 1, 2, 3, 3.5, 4} {
+		inst := plat.instance(now)
+		got := ix.Update(inst)
+		want := FeasiblePairs(inst, 5)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("instant %d (now=%v): got %v want %v", i, now, got, want)
+		}
+		if feasible := now <= 3; (len(got) == 1) != feasible {
+			t.Fatalf("now=%v: %d pairs, want feasible=%v", now, len(got), feasible)
+		}
+	}
+}
+
+// TestPairIndexIdentityHygiene: the documented preconditions fail
+// loudly.
+func TestPairIndexIdentityHygiene(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	w := func(id model.WorkerID) model.Worker {
+		return model.Worker{ID: id, User: id, Radius: 10}
+	}
+	task := func(id model.TaskID) model.Task {
+		return model.Task{ID: id, Valid: 5}
+	}
+	expectPanic("duplicate worker ID", func() {
+		NewPairIndex(5).Update(&model.Instance{Workers: []model.Worker{w(1), w(1)}})
+	})
+	expectPanic("out-of-order task IDs", func() {
+		NewPairIndex(5).Update(&model.Instance{Tasks: []model.Task{task(2), task(1)}})
+	})
+	expectPanic("re-admitted task ID", func() {
+		ix := NewPairIndex(5)
+		ix.Update(&model.Instance{Tasks: []model.Task{task(1), task(2)}})
+		ix.Update(&model.Instance{Tasks: []model.Task{task(2)}}) // 1 departs
+		ix.Update(&model.Instance{Tasks: []model.Task{task(1), task(2)}})
+	})
+	expectPanic("clock moved backwards", func() {
+		ix := NewPairIndex(5)
+		ix.Update(&model.Instance{Now: 2})
+		ix.Update(&model.Instance{Now: 1})
+	})
+}

@@ -82,6 +82,48 @@ func TestPropertyFlowCardinalityAgreement(t *testing.T) {
 	}
 }
 
+// TestPropertyFeasiblePairsSortedAndComplete: on arbitrary instances the
+// grid-accelerated FeasiblePairs equals the brute-force O(nW·nT) scan —
+// same pairs, same distances — and is exactly sorted by (worker, task),
+// as its doc comment promises. The mutable-grid incremental path is
+// gated against FeasiblePairs, so this property transitively anchors it
+// to the definition.
+func TestPropertyFeasiblePairsSortedAndComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		inst := quickInstance(seed)
+		got := FeasiblePairs(inst, 5)
+		var want []Pair
+		for wi, w := range inst.Workers {
+			for ti, s := range inst.Tasks {
+				if model.Feasible(w, s, inst.Now, 5) {
+					want = append(want, Pair{
+						W: int32(wi), T: int32(ti), Dist: geo.Dist(w.Loc, s.Loc),
+					})
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d pairs, brute force %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d pair %d: %+v, brute force %+v", seed, i, got[i], want[i])
+				return false
+			}
+			if i > 0 && (got[i-1].W > got[i].W ||
+				(got[i-1].W == got[i].W && got[i-1].T >= got[i].T)) {
+				t.Logf("seed %d: pairs %d,%d out of (worker, task) order", seed, i-1, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyAssignmentBoundedByFeasiblePairs: |A| can never exceed the
 // number of feasible pairs, workers, or tasks.
 func TestPropertyAssignmentBoundedByFeasiblePairs(t *testing.T) {

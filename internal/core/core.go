@@ -193,6 +193,11 @@ func (f *Framework) Prepare(inst *model.Instance, comps influence.Components, se
 type Session struct {
 	fw *Framework
 	is *influence.Session
+	// px is the incremental feasible-pair index (lazily created by
+	// Pairs): like the influence cache it carries per-entity state across
+	// instants, here the spatial match structure instead of the influence
+	// rows.
+	px *assign.PairIndex
 }
 
 // PrepareSession opens an incremental online-phase session under the
@@ -209,11 +214,29 @@ func (s *Session) Prepare(inst *model.Instance) *influence.Evaluator {
 	return s.is.Evaluate(inst)
 }
 
+// Pairs maintains the session's incremental feasible-pair index for one
+// instant and returns the instant's feasible pairs — positional, sorted
+// by (worker, task), bit-identical to assign.FeasiblePairs on the same
+// instance. On top of the session's identity requirements, the index
+// needs task IDs monotone in pool order and fresh on admission (see
+// assign.PairIndex); the streaming platform and dataset snapshots both
+// provide this. The returned slice is reused by the next call.
+func (s *Session) Pairs(inst *model.Instance) []assign.Pair {
+	if s.px == nil {
+		s.px = assign.NewPairIndex(s.fw.Speed())
+	}
+	return s.px.Update(inst)
+}
+
 // Assign is the session-aware one-call path for an instant: prepare the
-// evaluator through the session cache, then run the algorithm. pairs may
-// be nil exactly as in AssignPrepared.
+// evaluator through the session cache, then run the algorithm. A non-nil
+// pairs is used as-is; nil routes through the session's incremental pair
+// index (Pairs), so repeated instants pay only for pool changes.
 func (s *Session) Assign(inst *model.Instance, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
-	return s.fw.AssignPrepared(inst, s.is.Evaluate(inst), alg, pairs)
+	if pairs == nil {
+		pairs = s.Pairs(inst)
+	}
+	return s.fw.AssignPreparedPairs(inst, s.is.Evaluate(inst), alg, pairs)
 }
 
 // Sync maintains the session cache for an instant that runs no
@@ -225,13 +248,33 @@ func (s *Session) Sync(inst *model.Instance) { s.is.Sync(inst) }
 // introspection for tests and benchmarks).
 func (s *Session) Influence() *influence.Session { return s.is }
 
+// PairIndex exposes the incremental feasible-pair index (cache
+// introspection for tests and benchmarks); nil until the first Pairs
+// call.
+func (s *Session) PairIndex() *assign.PairIndex { return s.px }
+
 // AssignPrepared runs one algorithm against a prepared evaluator and
 // returns the assignment with its metrics. pairs may be nil, in which
 // case feasible pairs are computed (and charged to CPU time, as edge
 // construction is part of assignment in the paper's measurement).
+// Callers that precompute pairs themselves should use
+// AssignPreparedPairs, which takes the set as authoritative even when a
+// zero-feasibility instance made it empty.
 func (f *Framework) AssignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
+	return f.assignPrepared(inst, ev, alg, pairs, pairs != nil)
+}
+
+// AssignPreparedPairs is AssignPrepared with an authoritative
+// precomputed pair set: pairs is used as-is even when nil or empty, so a
+// caller that computed feasibility once — and found nothing — cannot
+// trigger a silent per-algorithm rescan.
+func (f *Framework) AssignPreparedPairs(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
+	return f.assignPrepared(inst, ev, alg, pairs, true)
+}
+
+func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair, hasPairs bool) (*model.AssignmentSet, Metrics) {
 	start := time.Now()
-	if pairs == nil {
+	if !hasPairs {
 		pairs = assign.FeasiblePairs(inst, f.cfg.SpeedKmH)
 	}
 	prob := &assign.Problem{
@@ -242,6 +285,7 @@ func (f *Framework) AssignPrepared(inst *model.Instance, ev *influence.Evaluator
 		},
 		SpeedKmH: f.cfg.SpeedKmH,
 		Pairs:    pairs,
+		HasPairs: true,
 	}
 	set := assign.Solve(alg, prob)
 	cpu := time.Since(start)

@@ -236,6 +236,69 @@ func TestSessionAssignMatchesColdPath(t *testing.T) {
 	}
 }
 
+// TestAssignPreparedPairsAuthoritative: the explicit precomputed-pairs
+// entry point must never rescan — an empty set on a well-connected
+// instance assigns nothing — while a genuinely precomputed set matches
+// the compute-for-me path exactly.
+func TestAssignPreparedPairsAuthoritative(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	ev := fw.Prepare(inst, influence.All, 1)
+
+	set, m := fw.AssignPreparedPairs(inst, ev, assign.IA, nil)
+	if set.Len() != 0 || m.Feasible != 0 {
+		t.Fatalf("authoritative empty pair set assigned %d over %d feasible — a rescan happened",
+			set.Len(), m.Feasible)
+	}
+
+	pairs := assign.FeasiblePairs(inst, fw.Speed())
+	gotSet, gotM := fw.AssignPreparedPairs(inst, ev, assign.IA, pairs)
+	wantSet, wantM := fw.AssignPrepared(inst, ev, assign.IA, nil)
+	if !reflect.DeepEqual(gotSet, wantSet) {
+		t.Fatal("precomputed pairs diverged from the compute-for-me path")
+	}
+	gotM.CPU, wantM.CPU = 0, 0
+	if gotM != wantM {
+		t.Fatalf("metrics %+v, want %+v", gotM, wantM)
+	}
+}
+
+// TestIncrementalSessionPairsMatchColdScan: Session.Pairs must equal
+// assign.FeasiblePairs on every instant it serves — the first (all
+// fresh), a repeat (all carried over), and a shrunken pool (eviction
+// plus deadline decay at a later Now).
+func TestIncrementalSessionPairsMatchColdScan(t *testing.T) {
+	fw, data := testFramework(t)
+	inst := testInstance(t, data)
+	sess := fw.PrepareSession(influence.All, 1, 2)
+	for round := 0; round < 2; round++ {
+		got := append([]assign.Pair(nil), sess.Pairs(inst)...)
+		want := assign.FeasiblePairs(inst, fw.Speed())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: session pairs diverged from the cold scan", round)
+		}
+		if len(want) == 0 {
+			t.Fatal("test instance has no feasible pairs; nothing gated")
+		}
+	}
+	// Retire every other task and advance the clock: the index must
+	// evict, revalidate deadlines and still match the cold scan.
+	later := &model.Instance{Now: inst.Now + 2, Workers: inst.Workers}
+	for j, task := range inst.Tasks {
+		if j%2 == 0 {
+			later.Tasks = append(later.Tasks, task)
+		}
+	}
+	got := sess.Pairs(later)
+	want := assign.FeasiblePairs(later, fw.Speed())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("session pairs diverged after eviction and deadline decay")
+	}
+	if ix := sess.PairIndex(); ix.CachedTasks() != len(later.Tasks) {
+		t.Errorf("index carries %d tasks, pool holds %d", ix.CachedTasks(), len(later.Tasks))
+	}
+}
+
 func TestTrainParallelismInvariant(t *testing.T) {
 	// The umbrella knob drives LDA, mobility and RPO training; the whole
 	// fitted framework — stored config included, since Train drops the

@@ -263,6 +263,15 @@ func (r *Runner) snapshot(day, numTasks, numWorkers int, valid, radius float64) 
 	})
 }
 
+// feasiblePairs computes a sweep point's feasibility exactly once; every
+// algorithm and ablation mask of the point shares the result through the
+// authoritative Problem.Pairs path (AssignPreparedPairs), so a
+// zero-feasibility point — whose precomputed slice is nil — cannot
+// trigger silent per-algorithm rescans.
+func (r *Runner) feasiblePairs(inst *model.Instance) []assign.Pair {
+	return assign.FeasiblePairs(inst, r.FW.Speed())
+}
+
 type accum struct {
 	cpuMs, assigned, ai, ap, travel float64
 	n                               int
@@ -355,10 +364,10 @@ func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst fun
 		// seeds mix the day in via randx.Mix rather than addition, so
 		// nearby days cannot collide with nearby base seeds.
 		ev := r.FW.PrepareSession(influence.All, randx.Mix(r.P.Seed, uint64(day)), 1).Prepare(inst)
-		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+		pairs := r.feasiblePairs(inst)
 		ms := make([]core.Metrics, len(assign.Algorithms))
 		for ai, alg := range assign.Algorithms {
-			_, m := r.FW.AssignPrepared(inst, ev, alg, pairs)
+			_, m := r.FW.AssignPreparedPairs(inst, ev, alg, pairs)
 			ms[ai] = m
 		}
 		return ms, nil
@@ -385,7 +394,7 @@ func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(
 		if err != nil {
 			return nil, err
 		}
-		pairs := assign.FeasiblePairs(inst, r.FW.Speed())
+		pairs := r.feasiblePairs(inst)
 		// Single-use sessions per mask (see runComparison on why each job
 		// runs its online phase at parallelism 1).
 		daySeed := randx.Mix(r.P.Seed, uint64(day))
@@ -396,7 +405,7 @@ func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(
 			if mk != influence.All {
 				ev = r.FW.PrepareSession(mk, daySeed, 1).Prepare(inst)
 			}
-			set, m := r.FW.AssignPrepared(inst, ev, assign.IA, pairs)
+			set, m := r.FW.AssignPreparedPairs(inst, ev, assign.IA, pairs)
 			// Rescore the realized assignment under the full model.
 			if set.Len() > 0 {
 				sum := 0.0

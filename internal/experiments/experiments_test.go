@@ -3,15 +3,19 @@ package experiments
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"dita/internal/assign"
 	"dita/internal/core"
 	"dita/internal/dataset"
+	"dita/internal/influence"
 	"dita/internal/lda"
 	"dita/internal/paralleltest"
+	"dita/internal/randx"
 )
 
 func testRunner(t *testing.T) *Runner {
@@ -77,6 +81,34 @@ func TestSweepValuesMatchPaper(t *testing.T) {
 	}
 	if len(RadiusSweep) != 5 || RadiusSweep[0] != 5 || RadiusSweep[4] != 25 {
 		t.Errorf("RadiusSweep = %v", RadiusSweep)
+	}
+}
+
+// TestSharedPairsMatchPerAlgorithmRecompute: routing one precomputed
+// feasibility set through every algorithm of a sweep point must be
+// indistinguishable from each algorithm rescanning for itself — the
+// shared Problem.Pairs path changes the work, never the figures.
+func TestSharedPairsMatchPerAlgorithmRecompute(t *testing.T) {
+	r := testRunner(t)
+	inst, err := r.snapshot(r.P.Days[0], r.P.NumTasks, r.P.NumWorkers, r.P.ValidHours, r.P.RadiusKm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := r.FW.PrepareSession(influence.All, randx.Mix(r.P.Seed, uint64(r.P.Days[0])), 1).Prepare(inst)
+	shared := r.feasiblePairs(inst)
+	if len(shared) == 0 {
+		t.Fatal("sweep point has no feasible pairs; the comparison gates nothing")
+	}
+	for _, alg := range assign.Algorithms {
+		gotSet, gotM := r.FW.AssignPreparedPairs(inst, ev, alg, shared)
+		wantSet, wantM := r.FW.AssignPrepared(inst, ev, alg, nil)
+		if !reflect.DeepEqual(gotSet, wantSet) {
+			t.Errorf("%v: shared-pairs assignment diverged from per-algorithm recomputation", alg)
+		}
+		gotM.CPU, wantM.CPU = 0, 0
+		if gotM != wantM {
+			t.Errorf("%v: shared-pairs metrics %+v, recomputed %+v", alg, gotM, wantM)
+		}
 	}
 }
 

@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// MutableGrid is a uniform bucket grid over a *changing* set of points,
+// keyed by caller-chosen int32 ids. Where Grid (BuildGrid) indexes a
+// fixed point set once, MutableGrid supports Insert and Remove between
+// queries, which is what the streaming platform needs: workers and tasks
+// enter and leave the pool at every instant, and rebuilding an immutable
+// index per instant is exactly the cost the incremental feasible-pair
+// maintenance exists to avoid.
+//
+// Cells are cellSize × cellSize squares on an unbounded lattice (buckets
+// materialize on demand in a hash map), so the indexed area never needs
+// to be known up front. Within uses the same predicate as Grid.Within —
+// Dist2(p, q) <= d*d — and returns ids sorted ascending, so results are
+// deterministic and bit-compatible with the immutable index.
+type MutableGrid struct {
+	cellSize float64
+	pts      map[int32]Point
+	cells    map[uint64][]int32
+}
+
+// NewMutableGrid returns an empty mutable grid with the given cell size
+// (kilometres). The cell size only affects performance, never results;
+// pick something near a quarter of the typical query radius. Non-positive
+// values default to 1.
+func NewMutableGrid(cellSize float64) *MutableGrid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &MutableGrid{
+		cellSize: cellSize,
+		pts:      make(map[int32]Point),
+		cells:    make(map[uint64][]int32),
+	}
+}
+
+// Len returns the number of indexed points.
+func (g *MutableGrid) Len() int { return len(g.pts) }
+
+// Contains reports whether id is currently indexed.
+func (g *MutableGrid) Contains(id int32) bool {
+	_, ok := g.pts[id]
+	return ok
+}
+
+// Point returns the location stored for id; ok is false when id is not
+// indexed.
+func (g *MutableGrid) Point(id int32) (Point, bool) {
+	p, ok := g.pts[id]
+	return p, ok
+}
+
+func (g *MutableGrid) key(p Point) uint64 {
+	cx := int32(math.Floor(p.X / g.cellSize))
+	cy := int32(math.Floor(p.Y / g.cellSize))
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// Insert indexes p under id. Ids are identities, not positions: inserting
+// an id that is already present panics, because a silent overwrite would
+// leave the old location's bucket stale.
+func (g *MutableGrid) Insert(id int32, p Point) {
+	if _, ok := g.pts[id]; ok {
+		panic(fmt.Sprintf("geo: MutableGrid id %d inserted twice", id))
+	}
+	g.pts[id] = p
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// Remove drops id from the index. Removing an absent id panics for the
+// same identity-hygiene reason Insert does.
+func (g *MutableGrid) Remove(id int32) {
+	p, ok := g.pts[id]
+	if !ok {
+		panic(fmt.Sprintf("geo: MutableGrid id %d removed but never inserted", id))
+	}
+	delete(g.pts, id)
+	k := g.key(p)
+	bucket := g.cells[k]
+	for i, v := range bucket {
+		if v == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = bucket
+	}
+}
+
+// Within appends to dst the ids of all indexed points p with
+// Dist(p, q) <= d and returns the extended slice, sorted ascending (the
+// same contract as Grid.Within, with ids in place of positions).
+func (g *MutableGrid) Within(q Point, d float64, dst []int32) []int32 {
+	if len(g.pts) == 0 || d < 0 {
+		return dst
+	}
+	d2 := d * d
+	minCX := int64(math.Floor((q.X - d) / g.cellSize))
+	maxCX := int64(math.Floor((q.X + d) / g.cellSize))
+	minCY := int64(math.Floor((q.Y - d) / g.cellSize))
+	maxCY := int64(math.Floor((q.Y + d) / g.cellSize))
+	before := len(dst)
+	if span := (maxCX - minCX + 1) * (maxCY - minCY + 1); span > int64(len(g.cells)) {
+		// The query rectangle covers more cells than are occupied: walk
+		// the occupied buckets instead. Map order does not matter — the
+		// result is membership-filtered and sorted below.
+		for _, bucket := range g.cells {
+			for _, id := range bucket {
+				if Dist2(g.pts[id], q) <= d2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	} else {
+		for cy := minCY; cy <= maxCY; cy++ {
+			for cx := minCX; cx <= maxCX; cx++ {
+				bucket, ok := g.cells[uint64(uint32(cx))<<32|uint64(uint32(cy))]
+				if !ok {
+					continue
+				}
+				for _, id := range bucket {
+					if Dist2(g.pts[id], q) <= d2 {
+						dst = append(dst, id)
+					}
+				}
+			}
+		}
+	}
+	slices.Sort(dst[before:])
+	return dst
+}

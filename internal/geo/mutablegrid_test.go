@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dita/internal/randx"
+)
+
+// bruteWithinIDs is the reference predicate: ids of all live points
+// within d of q, ascending.
+func bruteWithinIDs(pts map[int32]Point, q Point, d float64) []int32 {
+	var out []int32
+	max := int32(-1)
+	for id := range pts {
+		if id > max {
+			max = id
+		}
+	}
+	for id := int32(0); id <= max; id++ {
+		if p, ok := pts[id]; ok && Dist2(p, q) <= d*d {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestMutableGridMatchesBruteForce churns a grid through random inserts,
+// removes and queries and checks every query against a brute-force scan.
+func TestMutableGridMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := randx.New(seed)
+		cell := 0.5 + rng.Float64()*10
+		g := NewMutableGrid(cell)
+		live := map[int32]Point{}
+		next := int32(0)
+		for step := 0; step < 120; step++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.55:
+				p := Point{X: rng.Float64()*100 - 50, Y: rng.Float64()*100 - 50}
+				g.Insert(next, p)
+				live[next] = p
+				next++
+			default:
+				// Remove an arbitrary live id (lowest for determinism).
+				for id := int32(0); id < next; id++ {
+					if _, ok := live[id]; ok {
+						g.Remove(id)
+						delete(live, id)
+						break
+					}
+				}
+			}
+			q := Point{X: rng.Float64()*120 - 60, Y: rng.Float64()*120 - 60}
+			d := rng.Float64() * 40
+			got := g.Within(q, d, nil)
+			want := bruteWithinIDs(live, q, d)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d step %d: got %v want %v", seed, step, got, want)
+				return false
+			}
+			if g.Len() != len(live) {
+				t.Logf("seed %d step %d: Len %d want %d", seed, step, g.Len(), len(live))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMutableGridMatchesImmutableGrid: for the same point set, the
+// mutable grid's Within answers exactly match BuildGrid's (ids stand in
+// for positions).
+func TestMutableGridMatchesImmutableGrid(t *testing.T) {
+	rng := randx.New(7)
+	var pts []Point
+	mg := NewMutableGrid(3)
+	for i := 0; i < 200; i++ {
+		p := Point{X: rng.Float64() * 80, Y: rng.Float64() * 80}
+		pts = append(pts, p)
+		mg.Insert(int32(i), p)
+	}
+	ig := BuildGrid(pts, 8)
+	for trial := 0; trial < 50; trial++ {
+		q := Point{X: rng.Float64() * 90, Y: rng.Float64() * 90}
+		d := rng.Float64() * 30
+		want := ig.Within(q, d, nil)
+		got := mg.Within(q, d, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d ids vs %d positions", trial, len(got), len(want))
+		}
+		for i := range got {
+			if int(got[i]) != want[i] {
+				t.Fatalf("trial %d: id %d != position %d", trial, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMutableGridHugeRadiusFallback: a query radius spanning far more
+// cells than exist must still answer correctly (the occupied-bucket
+// fallback path).
+func TestMutableGridHugeRadiusFallback(t *testing.T) {
+	g := NewMutableGrid(0.001)
+	g.Insert(4, Point{X: 1, Y: 1})
+	g.Insert(2, Point{X: -3, Y: 2})
+	g.Insert(9, Point{X: 100, Y: 100})
+	got := g.Within(Point{}, 10, nil)
+	if want := []int32{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestMutableGridIdentityHygiene: double insert and absent remove panic
+// instead of silently corrupting buckets.
+func TestMutableGridIdentityHygiene(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	g := NewMutableGrid(1)
+	g.Insert(1, Point{X: 1})
+	expectPanic("double insert", func() { g.Insert(1, Point{X: 2}) })
+	expectPanic("absent remove", func() { g.Remove(2) })
+}
+
+// TestMutableGridDegenerate: empty grid and negative radius answer
+// nothing without panicking.
+func TestMutableGridDegenerate(t *testing.T) {
+	g := NewMutableGrid(0) // defaults
+	if got := g.Within(Point{}, 5, nil); got != nil {
+		t.Errorf("empty grid returned %v", got)
+	}
+	g.Insert(0, Point{})
+	if got := g.Within(Point{}, -1, nil); got != nil {
+		t.Errorf("negative radius returned %v", got)
+	}
+	g.Remove(0)
+	if g.Len() != 0 {
+		t.Errorf("Len %d after removing the only point", g.Len())
+	}
+}

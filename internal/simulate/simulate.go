@@ -21,6 +21,7 @@ package simulate
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dita/internal/assign"
@@ -69,8 +70,15 @@ type Config struct {
 	// influence state every instant (a single-use session per round). It
 	// exists for equivalence testing and for benchmarking the cached
 	// online phase against the cold one; results are identical either
-	// way.
+	// way. It implies cold feasible pairs too: without a session there is
+	// nowhere to carry the pair index.
 	ColdPrepare bool
+	// ColdPairs disables the incremental feasible-pair index and rescans
+	// the full workers×tasks feasibility every instant
+	// (assign.FeasiblePairs). Like ColdPrepare it exists for equivalence
+	// testing and benchmarking; the emitted pairs are bit-identical
+	// either way.
+	ColdPairs bool
 }
 
 // InstantResult records one assignment instant.
@@ -83,7 +91,12 @@ type InstantResult struct {
 	// collapse for carried-over entities). Assignment time is in
 	// Metrics.CPU, matching the paper's phase split.
 	Prepare time.Duration
-	Metrics core.Metrics
+	// PairMaint is the feasible-pair latency of the instant: maintaining
+	// the incremental pair index (or, under Config.ColdPairs /
+	// ColdPrepare, rescanning the full workers×tasks feasibility).
+	// Like Prepare it is excluded from Metrics.CPU.
+	PairMaint time.Duration
+	Metrics   core.Metrics
 	// Pairs are the instant's matched worker-task pairs, referencing the
 	// instant's snapshot positionally (snapshot order == pool order at
 	// that instant).
@@ -136,16 +149,17 @@ func New(fw *core.Framework, cfg Config) (*Platform, error) {
 // Run executes the instant loop over the arrival streams (each ordered
 // by time) and returns the aggregated result. Instants are indexed by
 // integer: instant i happens at Start + i*Step, so long horizons do not
-// accumulate floating-point drift.
+// accumulate floating-point drift, and the instant count is fixed up
+// front as ⌊Horizon/Step⌋ (with an epsilon absorbing binary rounding):
+// a Horizon that is an exact decimal multiple of Step — 2.4 over steps
+// of 0.1, say — includes its final instant even though the accumulated
+// product overshoots the horizon by an ulp.
 func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result, error) {
 	res := &Result{}
 	wi, ti := 0, 0
-	end := p.cfg.Start + p.cfg.Horizon
-	for i := 0; ; i++ {
+	count := int(math.Floor(p.cfg.Horizon/p.cfg.Step + 1e-9))
+	for i := 0; i <= count; i++ {
 		now := p.cfg.Start + float64(i)*p.cfg.Step
-		if now > end {
-			break
-		}
 		// Admit arrivals up to this instant; identities are assigned here
 		// and stay stable for the entity's whole platform lifetime.
 		for wi < len(workers) && workers[wi].At <= now {
@@ -177,14 +191,24 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		p.tasks = kept
 
 		if len(p.workers) == 0 || len(p.tasks) == 0 {
-			// No assignment to run, but the session cache still tracks the
-			// pool: new arrivals are admitted (their influence state lands
-			// before the next busy instant) and departed entities evicted.
+			// No assignment to run, but the session caches still track the
+			// pool: new arrivals are admitted (their influence state and
+			// feasible pairs land before the next busy instant) and
+			// departed entities evicted from both the influence cache and
+			// the pair index.
+			var pairMaint time.Duration
 			if p.sess != nil {
-				p.sess.Sync(&model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks})
+				inst := &model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks}
+				p.sess.Sync(inst)
+				if !p.cfg.ColdPairs {
+					pairStart := time.Now()
+					p.sess.Pairs(inst)
+					pairMaint = time.Since(pairStart)
+				}
 			}
 			res.Instants = append(res.Instants, InstantResult{
 				At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
+				PairMaint: pairMaint,
 			})
 			continue
 		}
@@ -198,10 +222,18 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 			ev = p.sess.Prepare(inst)
 		}
 		prep := time.Since(prepStart)
-		set, m := p.fw.AssignPrepared(inst, ev, p.cfg.Algorithm, nil)
+		pairStart := time.Now()
+		var pairs []assign.Pair
+		if p.cfg.ColdPairs || p.sess == nil {
+			pairs = assign.FeasiblePairs(inst, p.fw.Speed())
+		} else {
+			pairs = p.sess.Pairs(inst)
+		}
+		pairMaint := time.Since(pairStart)
+		set, m := p.fw.AssignPreparedPairs(inst, ev, p.cfg.Algorithm, pairs)
 		res.Instants = append(res.Instants, InstantResult{
 			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
-			Prepare: prep, Metrics: m, Pairs: set.Pairs,
+			Prepare: prep, PairMaint: pairMaint, Metrics: m, Pairs: set.Pairs,
 		})
 		res.TotalAssigned += set.Len()
 		p.retire(set)

@@ -203,6 +203,7 @@ func normalize(res *Result) *Result {
 	out.Instants = append([]InstantResult(nil), res.Instants...)
 	for i := range out.Instants {
 		out.Instants[i].Prepare = 0
+		out.Instants[i].PairMaint = 0
 		out.Instants[i].Metrics.CPU = 0
 	}
 	return &out
@@ -332,6 +333,105 @@ func TestLongHorizonDeterminismAndEviction(t *testing.T) {
 	}
 	if sess.CachedWorkers() > pa.Online() {
 		t.Errorf("session caches %d workers but only %d are online", sess.CachedWorkers(), pa.Online())
+	}
+}
+
+// TestHorizonExactMultipleKeepsFinalInstant is the regression gate for
+// the instant-count rule: now = Start + i*Step accumulates ulp error, so
+// the pre-fix loop condition `now > end` dropped the final instant
+// whenever Horizon was an exact decimal — but not binary — multiple of
+// Step (0.1*24 = 2.4000000000000004 > 2.4). The instant count is now
+// fixed up front as ⌊Horizon/Step + ε⌋ + 1.
+func TestHorizonExactMultipleKeepsFinalInstant(t *testing.T) {
+	fw, _ := testFramework(t)
+	cases := []struct {
+		step, horizon float64
+		want          int // ⌊horizon/step⌋ + 1 in exact arithmetic
+	}{
+		{0.1, 2.4, 25}, // drifts: 0.1*24 > 2.4 in float64
+		{0.1, 0.3, 4},  // drifts: 0.1*3 > 0.3
+		{0.2, 4.2, 22}, // no drift: control
+		{0.3, 0.9, 4},  // no drift: control
+		{2, 14, 8},     // integral grid: control
+	}
+	for _, c := range cases {
+		p, err := New(fw, Config{Algorithm: assign.IA, Step: c.step, Start: 0, Horizon: c.horizon, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(res.Instants); got != c.want {
+			t.Errorf("step %v horizon %v: %d instants, want %d", c.step, c.horizon, got, c.want)
+		}
+	}
+}
+
+// TestIncrementalPairsStreamingEquivalence is the tentpole's acceptance
+// gate at the platform layer: over a 200+-instant churn run (staggered
+// arrivals, short task lifetimes, retirements at every matching
+// instant), the incremental pair index must produce results identical to
+// rescanning feasibility cold every instant — at Parallelism 1, 2 and 8
+// — and its carry-over state must stay bounded by the live pool.
+func TestIncrementalPairsStreamingEquivalence(t *testing.T) {
+	fw, data := testFramework(t)
+	rng := randx.New(17)
+	var ws []ArrivingWorker
+	var ts []ArrivingTask
+	const days = 4
+	for d := 0; d < days; d++ {
+		base := 120.0 + float64(d)*24
+		for i := 0; i < 25; i++ {
+			u := model.WorkerID(rng.Intn(data.Params.NumUsers))
+			ws = append(ws, ArrivingWorker{
+				User: u, Loc: data.Homes[u], Radius: 25, At: base + rng.Float64()*20,
+			})
+			v := data.Venues[rng.Intn(len(data.Venues))]
+			ts = append(ts, ArrivingTask{
+				Loc: v.Loc, Publish: base + rng.Float64()*20, Valid: 1 + rng.Float64()*4,
+				Categories: v.Categories, Venue: v.ID,
+			})
+		}
+	}
+	sortByAt(ws)
+	sortByPublish(ts)
+	run := func(coldPairs bool, par int) (*Result, *Platform) {
+		p, err := New(fw, Config{
+			Algorithm: assign.IA, Step: 0.5, Start: 120, Horizon: float64(days)*24 + 6,
+			Seed: 23, Parallelism: par, ColdPairs: coldPairs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(res), p
+	}
+	want, _ := run(true, 1)
+	if got := len(want.Instants); got < 200 {
+		t.Fatalf("churn run covers %d instants, the acceptance gate needs >= 200", got)
+	}
+	if want.TotalAssigned == 0 || want.ExpiredTasks == 0 {
+		t.Fatalf("churn run saw %d assigned, %d expired — the gate needs arrivals, retirements and expiries",
+			want.TotalAssigned, want.ExpiredTasks)
+	}
+	for _, par := range paralleltest.WorkerCounts {
+		got, p := run(false, par)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: incremental pair index diverged from cold FeasiblePairs rescans", par)
+		}
+		ix := p.Session().PairIndex()
+		if ix == nil {
+			t.Fatal("warm run never touched the pair index")
+		}
+		if ix.CachedWorkers() != p.Online() || ix.CachedTasks() != p.Open() {
+			t.Errorf("parallelism %d: index carries %d workers / %d tasks, pool holds %d / %d",
+				par, ix.CachedWorkers(), ix.CachedTasks(), p.Online(), p.Open())
+		}
 	}
 }
 
