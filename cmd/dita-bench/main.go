@@ -7,10 +7,22 @@
 //	dita-bench [-datasets bk,fs] [-figures all|5,9,15] [-scale full|quick]
 //	           [-csv dir] [-days n] [-parallel n] [-rrrbench file.json]
 //	           [-simbench file.json]
+//	           [-shard k/N -shard-out file.json] [-merge 'glob']
 //
 // A full run with -scale full uses Table II defaults (|S|=1500, |W|=1200,
 // ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
 // quick shrinks instance sizes ~5× for a fast smoke pass.
+//
+// -shard k/N runs this process as worker k of an N-way sharded sweep:
+// only its deterministic slice of every figure's (sweep value × day)
+// job grid is evaluated, and the raw per-job metrics are written to
+// -shard-out as a JSON artifact instead of tables. Run all N workers
+// (any machines, any order) with identical -datasets/-figures/-scale/
+// -days/-seed flags, then combine the artifacts with -merge 'glob',
+// which validates the set (no missing, duplicate or overlapping shard)
+// and emits the usual tables and CSV — bit-identical to a
+// single-process run in every column except cpu_ms, which is each
+// process's measured wall clock.
 //
 // -parallel bounds the worker pool used for the whole training phase
 // (dataset generation, LDA Gibbs, mobility fitting, RRR sampling) and
@@ -44,6 +56,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"slices"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -76,9 +89,17 @@ func main() {
 		par          = flag.Int("parallel", 0, "worker pool bound for sampling and sweeps (0 = all cores)")
 		rrrBench     = flag.String("rrrbench", "", "write an rrr.Build scaling report to this JSON file and exit")
 		simBench     = flag.String("simbench", "", "record per-instant online-phase latency (cold vs warm session) into this JSON file and exit")
+		shardFlag    = flag.String("shard", "", "run as worker k of an N-way sharded sweep (k/N); requires -shard-out")
+		shardOut     = flag.String("shard-out", "", "file the sharded worker writes its raw-metrics JSON artifact to")
+		mergeFlag    = flag.String("merge", "", "merge shard artifacts matching this glob into the figures and exit")
 	)
 	flag.Parse()
 
+	if *rrrBench != "" || *simBench != "" {
+		if *shardFlag != "" || *shardOut != "" || *mergeFlag != "" {
+			log.Fatal("-rrrbench/-simbench are standalone modes; they cannot be combined with -shard/-shard-out/-merge")
+		}
+	}
 	if *rrrBench != "" {
 		if err := writeRRRBench(*rrrBench); err != nil {
 			log.Fatalf("rrrbench: %v", err)
@@ -90,6 +111,30 @@ func main() {
 			log.Fatalf("simbench: %v", err)
 		}
 		return
+	}
+	if *mergeFlag != "" {
+		if *shardFlag != "" || *shardOut != "" {
+			log.Fatal("-merge is a coordinator mode; it cannot be combined with -shard/-shard-out")
+		}
+		if err := runMerge(*mergeFlag, *csvDir); err != nil {
+			log.Fatalf("merge: %v", err)
+		}
+		return
+	}
+	var shard experiments.Shard
+	if *shardFlag != "" {
+		var err error
+		if shard, err = experiments.ParseShard(*shardFlag); err != nil {
+			log.Fatal(err)
+		}
+		if *shardOut == "" {
+			log.Fatal("-shard requires -shard-out (the artifact the worker writes)")
+		}
+		if *csvDir != "" {
+			log.Fatal("-csv is a coordinator output; a sharded worker holds only a partial grid (pass -csv to -merge instead)")
+		}
+	} else if *shardOut != "" {
+		log.Fatal("-shard-out requires -shard")
 	}
 
 	wanted := map[int]bool{}
@@ -107,6 +152,7 @@ func main() {
 		}
 	}
 
+	var shardFigs []*experiments.SweepRaw
 	for _, name := range strings.Split(*datasetsFlag, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
 		var dp dataset.Params
@@ -118,35 +164,115 @@ func main() {
 		default:
 			log.Fatalf("unknown dataset %q (want bk or fs)", name)
 		}
-		runDataset(dp, wanted, *scale, *csvDir, *days, *seed, *par)
+		shardFigs = append(shardFigs, runDataset(dp, wanted, *scale, *csvDir, *days, *seed, *par, shard, *shardFlag != "")...)
+	}
+	if *shardFlag != "" {
+		sr := &experiments.ShardResult{Shard: shard, Seed: *seed, Figures: shardFigs}
+		f, err := os.Create(*shardOut)
+		if err != nil {
+			log.Fatalf("shard-out: %v", err)
+		}
+		if err := sr.Write(f); err != nil {
+			f.Close()
+			log.Fatalf("shard-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("shard-out: %v", err)
+		}
+		jobs := 0
+		for _, raw := range shardFigs {
+			jobs += len(raw.Jobs)
+		}
+		fmt.Printf("shard %s: wrote %d figures (%d jobs) to %s\n", shard, len(shardFigs), jobs, *shardOut)
 	}
 }
 
-func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64, par int) {
-	isBK := dp.Name == "BK"
-	// Figures on this dataset: odd numbers are BK, even are FS, except
-	// the ablation figures 5-8 which the paper shows for both (panels a
-	// and b).
+// runMerge combines the shard artifacts matching glob into full figure
+// grids, validates completeness, and emits the usual tables (and CSV):
+// the coordinator half of a sharded sweep. No dataset generation or
+// training happens here — everything needed is in the artifacts.
+func runMerge(glob, csvDir string) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no shard artifacts match %q", glob)
+	}
+	sort.Strings(paths)
+	var shards []*experiments.ShardResult
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sr, err := experiments.ReadShardResult(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("loaded shard %s from %s (%d figures)\n", sr.Shard, path, len(sr.Figures))
+		shards = append(shards, sr)
+	}
+	raws, err := experiments.MergeRaw(shards)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, raw := range raws {
+		res, err := raw.Reduce()
+		if err != nil {
+			return err
+		}
+		printFigure(res, experiments.FigureMetrics(raw.Fig))
+		if csvDir != "" {
+			if err := writeCSV(csvDir, csvName(raw.Fig, raw.Dataset), res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// printFigure renders one figure's tables: the single-metric form for
+// the ablations, all five tables otherwise.
+func printFigure(res *experiments.Result, metrics []experiments.Metric) {
+	if len(metrics) == 1 {
+		res.FormatTable(os.Stdout, metrics[0])
+		fmt.Println()
+		return
+	}
+	res.FormatAll(os.Stdout, metrics)
+}
+
+func csvName(fig int, dataset string) string {
+	return fmt.Sprintf("fig%02d_%s.csv", fig, strings.ToLower(dataset))
+}
+
+// runDataset evaluates the wanted figures on one dataset. In normal
+// mode it prints tables (and optional CSV) and returns nil; as a
+// sharded worker it runs only the shard's slice of each figure's job
+// grid and returns the raw sweeps for the caller's artifact.
+func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64, par int, shard experiments.Shard, workerMode bool) []*experiments.SweepRaw {
 	any := false
 	for f := range wanted {
-		if f <= 8 || (isBK == (f%2 == 1)) {
+		if experiments.FigureOnDataset(f, dp.Name) {
 			any = true
 		}
 	}
 	if !any {
-		return
+		return nil
 	}
 
 	params := experiments.Default()
-	taskSweep := experiments.TaskSweep
-	workerSweep := experiments.WorkerSweep
+	sweeps := experiments.DefaultSweeps()
 	if scale == "quick" {
 		params = experiments.Quick()
-		taskSweep = []int{100, 200, 300, 400, 500}
-		workerSweep = []int{80, 160, 240, 320, 400}
+		sweeps = experiments.QuickSweeps()
 	}
 	params.Seed = seed
 	params.Parallelism = par
+	params.Shard = shard
 	if daysOverride > 0 {
 		params.Days = params.Days[:0]
 		last := dp.Days - 1
@@ -176,55 +302,35 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 		time.Since(start).Seconds(),
 		runner.FW.Propagation().NumSets(), runner.FW.Mobility().NumWorkers())
 
-	type job struct {
-		fig  int
-		only experiments.Metric // zero = all metrics
-		run  func() (*experiments.Result, error)
-	}
-	jobs := []job{
-		{5, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationTasks(taskSweep) }},
-		{6, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationWorkers(workerSweep) }},
-		{7, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationValidTime(experiments.ValidTimeSweep) }},
-		{8, experiments.MetricAI, func() (*experiments.Result, error) { return runner.AblationRadius(experiments.RadiusSweep) }},
-	}
-	if isBK {
-		jobs = append(jobs,
-			job{9, "", func() (*experiments.Result, error) { return runner.CompareTasks(taskSweep) }},
-			job{11, "", func() (*experiments.Result, error) { return runner.CompareWorkers(workerSweep) }},
-			job{13, "", func() (*experiments.Result, error) { return runner.CompareValidTime(experiments.ValidTimeSweep) }},
-			job{15, "", func() (*experiments.Result, error) { return runner.CompareRadius(experiments.RadiusSweep) }},
-		)
-	} else {
-		jobs = append(jobs,
-			job{10, "", func() (*experiments.Result, error) { return runner.CompareTasks(taskSweep) }},
-			job{12, "", func() (*experiments.Result, error) { return runner.CompareWorkers(workerSweep) }},
-			job{14, "", func() (*experiments.Result, error) { return runner.CompareValidTime(experiments.ValidTimeSweep) }},
-			job{16, "", func() (*experiments.Result, error) { return runner.CompareRadius(experiments.RadiusSweep) }},
-		)
-	}
-
-	for _, j := range jobs {
-		if !wanted[j.fig] {
+	var out []*experiments.SweepRaw
+	for fig := 5; fig <= 16; fig++ {
+		if !wanted[fig] || !runner.HasFigure(fig) {
 			continue
 		}
 		start := time.Now()
-		res, err := j.run()
+		if workerMode {
+			raw, err := runner.RunFigureRaw(fig, sweeps)
+			if err != nil {
+				log.Fatalf("figure %d on %s: %v", fig, dp.Name, err)
+			}
+			fmt.Printf("    [figure %d on %s: shard %s ran %d of %d jobs in %.1fs]\n",
+				fig, dp.Name, shard, len(raw.Jobs), len(raw.Xs)*len(raw.Days), time.Since(start).Seconds())
+			out = append(out, raw)
+			continue
+		}
+		res, err := runner.RunFigure(fig, sweeps)
 		if err != nil {
-			log.Fatalf("figure %d on %s: %v", j.fig, dp.Name, err)
+			log.Fatalf("figure %d on %s: %v", fig, dp.Name, err)
 		}
-		if j.only != "" {
-			res.FormatTable(os.Stdout, j.only)
-			fmt.Println()
-		} else {
-			res.FormatAll(os.Stdout, experiments.AllMetrics)
-		}
-		fmt.Printf("    [figure %d on %s finished in %.1fs]\n\n", j.fig, dp.Name, time.Since(start).Seconds())
+		printFigure(res, experiments.FigureMetrics(fig))
+		fmt.Printf("    [figure %d on %s finished in %.1fs]\n\n", fig, dp.Name, time.Since(start).Seconds())
 		if csvDir != "" {
-			if err := writeCSV(csvDir, fmt.Sprintf("fig%02d_%s.csv", j.fig, strings.ToLower(dp.Name)), res); err != nil {
+			if err := writeCSV(csvDir, csvName(fig, dp.Name), res); err != nil {
 				log.Fatalf("csv: %v", err)
 			}
 		}
 	}
+	return out
 }
 
 func writeCSV(dir, name string, res *experiments.Result) error {

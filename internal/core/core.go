@@ -161,16 +161,22 @@ func (f *Framework) Engine() *influence.Engine { return f.engine }
 func (f *Framework) Speed() float64 { return f.cfg.SpeedKmH }
 
 // Metrics are the per-run evaluation measurements of Section V-B.
+//
+// The JSON form is the wire format sharded experiment runs exchange
+// (experiments.ShardResult), and it round-trips bit-exactly: floats are
+// always finite here, and encoding/json emits the shortest decimal that
+// parses back to the same float64; CPU serializes as integer
+// nanoseconds.
 type Metrics struct {
-	Algorithm  string
-	Assigned   int           // |A|
-	AI         float64       // Average Influence (Equation 6)
-	AP         float64       // Average Propagation (Equation 7)
-	TravelKm   float64       // mean travel distance of assigned workers
-	CPU        time.Duration // assignment computation time only
-	Feasible   int           // number of feasible worker-task pairs (edges m)
-	NumWorkers int
-	NumTasks   int
+	Algorithm  string        `json:"algorithm"`
+	Assigned   int           `json:"assigned"`  // |A|
+	AI         float64       `json:"ai"`        // Average Influence (Equation 6)
+	AP         float64       `json:"ap"`        // Average Propagation (Equation 7)
+	TravelKm   float64       `json:"travel_km"` // mean travel distance of assigned workers
+	CPU        time.Duration `json:"cpu_ns"`    // assignment computation time only
+	Feasible   int           `json:"feasible"`  // number of feasible worker-task pairs (edges m)
+	NumWorkers int           `json:"num_workers"`
+	NumTasks   int           `json:"num_tasks"`
 }
 
 // Prepare computes the influence evaluator for an instance under a

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"dita/internal/assign"
 	"dita/internal/dataset"
@@ -345,5 +348,42 @@ func TestConfigParallelismFansOut(t *testing.T) {
 	}
 	if c.Mobility.Parallelism != 3 || c.RPO.Parallelism != 3 {
 		t.Errorf("umbrella knob lost for the other components: %+v", c)
+	}
+}
+
+// TestMetricsJSONRoundTrip pins the wire format sharded experiment runs
+// exchange: every field — including floats with no short decimal form
+// and extreme magnitudes — must survive Marshal/Unmarshal bit-exactly,
+// and the schema must stay the documented snake_case one.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	ms := []Metrics{
+		{
+			Algorithm: "IA", Assigned: 7,
+			AI: 0.1 + 0.2, AP: math.Pi / 11, TravelKm: 1.0 / 3.0,
+			CPU: 123456789 * time.Nanosecond, Feasible: 31, NumWorkers: 1200, NumTasks: 1500,
+		},
+		{AI: math.MaxFloat64, AP: math.SmallestNonzeroFloat64, TravelKm: 1e-300, CPU: time.Duration(1<<62 - 1)},
+		{},
+	}
+	out, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"algorithm", "assigned", "ai", "ap", "travel_km", "cpu_ns", "feasible", "num_workers", "num_tasks"} {
+		if !strings.Contains(string(out), `"`+field+`"`) {
+			t.Errorf("JSON schema lost field %q: %s", field, out)
+		}
+	}
+	var back []Metrics
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ms) {
+		t.Fatalf("round-trip returned %d metrics, want %d", len(back), len(ms))
+	}
+	for i := range ms {
+		if back[i] != ms[i] {
+			t.Errorf("metrics %d did not round-trip:\n got %+v\nwant %+v", i, back[i], ms[i])
+		}
 	}
 }

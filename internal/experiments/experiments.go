@@ -6,10 +6,11 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
+	"strconv"
 	"sync/atomic"
 
 	"dita/internal/assign"
@@ -41,6 +42,13 @@ type Params struct {
 	// |S|×|W_G| float32), so peak memory grows linearly with the knob —
 	// lower it on wide machines with large sweeps.
 	Parallelism int
+	// Shard restricts the sweeps to this process's slice of the
+	// (figure × x × day) job grid (see Shard): the figure methods then
+	// refuse to reduce — a partial grid has no honest averages — and the
+	// raw sweeps are collected into a ShardResult artifact instead,
+	// merged later by Merge against the other shards' artifacts. The
+	// zero value runs everything in-process, unsharded.
+	Shard Shard
 }
 
 // Default returns the paper's Table II settings, evaluated over the last
@@ -77,6 +85,32 @@ var (
 	ValidTimeSweep = []float64{1, 2, 3, 4, 5, 6}
 	RadiusSweep    = []float64{5, 10, 15, 20, 25}
 )
+
+// Sweeps bundles the per-axis sweep grids one evaluation scale uses, so
+// figure dispatch (RunFigure) needs a single value rather than four.
+type Sweeps struct {
+	Tasks   []int
+	Workers []int
+	Valid   []float64
+	Radius  []float64
+}
+
+// DefaultSweeps returns the paper's figure sweeps.
+func DefaultSweeps() Sweeps {
+	return Sweeps{Tasks: TaskSweep, Workers: WorkerSweep, Valid: ValidTimeSweep, Radius: RadiusSweep}
+}
+
+// QuickSweeps shrinks the instance-size sweeps ~5× to match Quick's
+// reduced instances; the time and radius axes are protocol parameters
+// and stay as in the paper.
+func QuickSweeps() Sweeps {
+	return Sweeps{
+		Tasks:   []int{100, 200, 300, 400, 500},
+		Workers: []int{80, 160, 240, 320, 400},
+		Valid:   ValidTimeSweep,
+		Radius:  RadiusSweep,
+	}
+}
 
 // Row is one (x, algorithm) cell of a figure: every metric the paper
 // plots for that combination, averaged over the evaluation days.
@@ -157,7 +191,29 @@ func (r *Result) Xs() []float64 {
 	return out
 }
 
-// Value returns the metric for (x, alg), and whether it exists.
+// rowKey addresses one (x, algorithm) cell of a figure.
+type rowKey struct {
+	x   float64
+	alg string
+}
+
+// rowIndex maps each (x, alg) cell to its first matching row — built
+// once per formatting call so a full table renders in O(rows) instead
+// of one linear scan per cell.
+func (r *Result) rowIndex() map[rowKey]int {
+	idx := make(map[rowKey]int, len(r.Rows))
+	for i, row := range r.Rows {
+		k := rowKey{x: row.X, alg: row.Alg}
+		if _, ok := idx[k]; !ok {
+			idx[k] = i
+		}
+	}
+	return idx
+}
+
+// Value returns the metric for (x, alg), and whether it exists. Each
+// call scans the rows; callers rendering whole tables go through the
+// one-shot index FormatTable builds instead.
 func (r *Result) Value(x float64, alg string, m Metric) (float64, bool) {
 	for _, row := range r.Rows {
 		if row.X == x && row.Alg == alg {
@@ -171,6 +227,7 @@ func (r *Result) Value(x float64, alg string, m Metric) (float64, bool) {
 // the same rows/series the corresponding sub-figure plots.
 func (r *Result) FormatTable(w io.Writer, m Metric) {
 	algs := r.Algorithms()
+	idx := r.rowIndex()
 	fmt.Fprintf(w, "%s %s on %s — %s vs %s\n", r.Figure, m, r.Dataset, m, r.XLabel)
 	fmt.Fprintf(w, "%10s", r.XLabel)
 	for _, a := range algs {
@@ -180,12 +237,12 @@ func (r *Result) FormatTable(w io.Writer, m Metric) {
 	for _, x := range r.Xs() {
 		fmt.Fprintf(w, "%10g", x)
 		for _, a := range algs {
-			v, ok := r.Value(x, a, m)
+			i, ok := idx[rowKey{x: x, alg: a}]
 			if !ok {
 				fmt.Fprintf(w, "%12s", "-")
 				continue
 			}
-			fmt.Fprintf(w, "%12.4f", v)
+			fmt.Fprintf(w, "%12.4f", r.Rows[i].metric(m))
 		}
 		fmt.Fprintln(w)
 	}
@@ -199,22 +256,29 @@ func (r *Result) FormatAll(w io.Writer, metrics []Metric) {
 	}
 }
 
-// WriteCSV emits the raw rows as CSV (header + one line per Row).
+// WriteCSV emits the raw rows as CSV (header + one line per Row) with
+// RFC 4180 quoting: a field containing a comma, quote or newline is
+// quoted, not rewritten, so every value — including the shard artifacts
+// that travel through this path when a merge writes its figures —
+// parses back losslessly with any conforming reader.
 func (r *Result) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "figure,dataset,xlabel,x,alg,cpu_ms,assigned,ai,ap,travel_km"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "dataset", "xlabel", "x", "alg", "cpu_ms", "assigned", "ai", "ap", "travel_km"}); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%s,%.6f,%.2f,%.6f,%.6f,%.6f\n",
-			csvEscape(r.Figure), r.Dataset, csvEscape(r.XLabel),
-			row.X, row.Alg, row.CPUms, row.Assigned, row.AI, row.AP, row.TravelKm); err != nil {
+		if err := cw.Write([]string{
+			r.Figure, r.Dataset, r.XLabel,
+			strconv.FormatFloat(row.X, 'g', -1, 64), row.Alg,
+			fmt.Sprintf("%.6f", row.CPUms), fmt.Sprintf("%.2f", row.Assigned),
+			fmt.Sprintf("%.6f", row.AI), fmt.Sprintf("%.6f", row.AP), fmt.Sprintf("%.6f", row.TravelKm),
+		}); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
-
-func csvEscape(s string) string { return strings.ReplaceAll(s, ",", ";") }
 
 // Runner binds a dataset to a trained framework and executes sweeps.
 type Runner struct {
@@ -286,11 +350,11 @@ func (a *accum) add(m core.Metrics) {
 	a.n++
 }
 
+// row averages the accumulated days into the cell's Row. Callers
+// guarantee n > 0 — Reduce refuses incomplete grids before averaging —
+// so an empty cell can never be reported as measured zeros.
 func (a *accum) row(x float64, alg string) Row {
 	n := float64(a.n)
-	if n == 0 {
-		n = 1
-	}
 	return Row{
 		X: x, Alg: alg,
 		CPUms:    a.cpuMs / n,
@@ -301,59 +365,81 @@ func (a *accum) row(x float64, alg string) Row {
 	}
 }
 
-// runSweep fans the (sweep value × day) evaluations out over a bounded
-// worker pool and reduces them into one row per (x, series) pair. The
-// jobs are independent — the trained framework is immutable and every
-// instance is rebuilt from its seed — and each writes only its own
-// slot; eval must return one Metrics per series, in series order. The
-// reduction walks the slots in the order the sequential loop used, so
-// the rows match a Parallelism-1 run exactly (CPU timing aside). A
-// failed job flips a flag that makes still-queued jobs exit
-// immediately, preserving fail-fast behavior under fan-out.
-func (r *Runner) runSweep(figure, xlabel string, xs []float64, series []string, eval func(day int, x float64) ([]core.Metrics, error)) (*Result, error) {
-	res := &Result{Figure: figure, Dataset: r.Data.Params.Name, XLabel: xlabel}
+// runSweep fans this shard's share of the (sweep value × day) job grid
+// out over a bounded worker pool and returns the raw per-job metrics.
+// Jobs are indexed j = xi·len(Days) + di — x-major, day-minor, the
+// sequential order the reduction later averages in — and the shard owns
+// those with j % Count == Index. The jobs are independent — the trained
+// framework is immutable and every instance is rebuilt from its seed —
+// and each writes only its own slot; eval must return one Metrics per
+// series, in series order. A failed job flips a flag that makes
+// still-queued jobs exit immediately, preserving fail-fast behavior
+// under fan-out. Averaging happens exactly once, in SweepRaw.Reduce —
+// in-process runs and cross-process merges share that one reduction.
+func (r *Runner) runSweep(fig int, xlabel string, xs []float64, series []string, eval func(day int, x float64) ([]core.Metrics, error)) (*SweepRaw, error) {
+	if err := r.P.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	shard := r.P.Shard.normalized()
 	nd := len(r.P.Days)
-	jobs := len(xs) * nd
-	metrics := make([][]core.Metrics, jobs) // per job, per series
-	errs := make([]error, jobs)
+	var owned []int // grid indices this shard evaluates, ascending
+	for j := 0; j < len(xs)*nd; j++ {
+		if shard.owns(j) {
+			owned = append(owned, j)
+		}
+	}
+	metrics := make([][]core.Metrics, len(owned)) // per owned job, per series
+	errs := make([]error, len(owned))
 	var failed atomic.Bool
-	parallel.For(parallel.Workers(r.P.Parallelism), jobs, func(_, j int) {
+	parallel.For(parallel.Workers(r.P.Parallelism), len(owned), func(_, i int) {
 		if failed.Load() {
 			return
 		}
+		j := owned[i]
 		ms, err := eval(r.P.Days[j%nd], xs[j/nd])
+		if err == nil && len(ms) != len(series) {
+			err = fmt.Errorf("experiments: eval returned %d metrics for %d series", len(ms), len(series))
+		}
 		if err != nil {
-			errs[j] = err
+			errs[i] = err
 			failed.Store(true)
 			return
 		}
-		metrics[j] = ms
+		metrics[i] = ms
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	for xi, x := range xs {
-		for si, name := range series {
-			a := &accum{}
-			for di := 0; di < nd; di++ {
-				a.add(metrics[xi*nd+di][si])
-			}
-			res.Rows = append(res.Rows, a.row(x, name))
-		}
+	raw := &SweepRaw{
+		Fig: fig, Figure: fmt.Sprintf("Fig. %d", fig), Dataset: r.Data.Params.Name,
+		XLabel: xlabel, Series: series, Xs: xs, Days: r.P.Days, Shard: shard,
+		Jobs: make([]JobMetrics, 0, len(owned)),
 	}
-	return res, nil
+	for i, j := range owned {
+		raw.Jobs = append(raw.Jobs, JobMetrics{X: xs[j/nd], Day: r.P.Days[j%nd], Metrics: metrics[i]})
+	}
+	return raw, nil
+}
+
+// reduceRaw chains a raw sweep into its reduced Result, keeping the
+// figure methods one-liners.
+func reduceRaw(raw *SweepRaw, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return raw.Reduce()
 }
 
 // runComparison executes the five algorithms for each sweep value and
 // averages the metrics over the evaluation days; this backs Figures 9–16.
-func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+func (r *Runner) runComparison(fig int, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*SweepRaw, error) {
 	series := make([]string, len(assign.Algorithms))
 	for i, alg := range assign.Algorithms {
 		series[i] = alg.String()
 	}
-	return r.runSweep(figure, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
+	return r.runSweep(fig, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
 		inst, err := makeInst(day, x)
 		if err != nil {
 			return nil, err
@@ -383,13 +469,13 @@ func (r *Runner) runComparison(figure, xlabel string, xs []float64, makeInst fun
 // the full model. The masks therefore change the assignment, and the
 // reported AI measures how much worker-task influence that assignment
 // actually realizes.
-func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*Result, error) {
+func (r *Runner) runAblation(fig int, xlabel string, xs []float64, makeInst func(day int, x float64) (*model.Instance, error)) (*SweepRaw, error) {
 	masks := []influence.Components{influence.All, influence.WP, influence.AP, influence.AW}
 	series := make([]string, len(masks))
 	for i, mk := range masks {
 		series[i] = mk.String()
 	}
-	return r.runSweep(figure, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
+	return r.runSweep(fig, xlabel, xs, series, func(day int, x float64) ([]core.Metrics, error) {
 		inst, err := makeInst(day, x)
 		if err != nil {
 			return nil, err
@@ -427,28 +513,44 @@ func (r *Runner) runAblation(figure, xlabel string, xs []float64, makeInst func(
 
 // AblationTasks reproduces Fig. 5 (effect of |S| on AI for IA variants).
 func (r *Runner) AblationTasks(xs []int) (*Result, error) {
-	return r.runAblation("Fig. 5", "|S|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+	return reduceRaw(r.ablationTasksRaw(xs))
+}
+
+func (r *Runner) ablationTasksRaw(xs []int) (*SweepRaw, error) {
+	return r.runAblation(5, "|S|", toF(xs), func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, int(x), r.P.NumWorkers, r.P.ValidHours, r.P.RadiusKm)
 	})
 }
 
 // AblationWorkers reproduces Fig. 6 (effect of |W|).
 func (r *Runner) AblationWorkers(xs []int) (*Result, error) {
-	return r.runAblation("Fig. 6", "|W|", toF(xs), func(day int, x float64) (*model.Instance, error) {
+	return reduceRaw(r.ablationWorkersRaw(xs))
+}
+
+func (r *Runner) ablationWorkersRaw(xs []int) (*SweepRaw, error) {
+	return r.runAblation(6, "|W|", toF(xs), func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, int(x), r.P.ValidHours, r.P.RadiusKm)
 	})
 }
 
 // AblationValidTime reproduces Fig. 7 (effect of ϕ).
 func (r *Runner) AblationValidTime(xs []float64) (*Result, error) {
-	return r.runAblation("Fig. 7", "phi(h)", xs, func(day int, x float64) (*model.Instance, error) {
+	return reduceRaw(r.ablationValidTimeRaw(xs))
+}
+
+func (r *Runner) ablationValidTimeRaw(xs []float64) (*SweepRaw, error) {
+	return r.runAblation(7, "phi(h)", xs, func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, x, r.P.RadiusKm)
 	})
 }
 
 // AblationRadius reproduces Fig. 8 (effect of r).
 func (r *Runner) AblationRadius(xs []float64) (*Result, error) {
-	return r.runAblation("Fig. 8", "r(km)", xs, func(day int, x float64) (*model.Instance, error) {
+	return reduceRaw(r.ablationRadiusRaw(xs))
+}
+
+func (r *Runner) ablationRadiusRaw(xs []float64) (*SweepRaw, error) {
+	return r.runAblation(8, "r(km)", xs, func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, r.P.ValidHours, x)
 	})
 }
@@ -456,6 +558,10 @@ func (r *Runner) AblationRadius(xs []float64) (*Result, error) {
 // CompareTasks reproduces Fig. 9 (BK) / Fig. 10 (FS): effect of |S| on
 // the five algorithms across all five metrics.
 func (r *Runner) CompareTasks(xs []int) (*Result, error) {
+	return reduceRaw(r.compareTasksRaw(xs))
+}
+
+func (r *Runner) compareTasksRaw(xs []int) (*SweepRaw, error) {
 	return r.runComparison(r.figNum(9, 10), "|S|", toF(xs), func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, int(x), r.P.NumWorkers, r.P.ValidHours, r.P.RadiusKm)
 	})
@@ -463,6 +569,10 @@ func (r *Runner) CompareTasks(xs []int) (*Result, error) {
 
 // CompareWorkers reproduces Fig. 11 (BK) / Fig. 12 (FS).
 func (r *Runner) CompareWorkers(xs []int) (*Result, error) {
+	return reduceRaw(r.compareWorkersRaw(xs))
+}
+
+func (r *Runner) compareWorkersRaw(xs []int) (*SweepRaw, error) {
 	return r.runComparison(r.figNum(11, 12), "|W|", toF(xs), func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, int(x), r.P.ValidHours, r.P.RadiusKm)
 	})
@@ -470,6 +580,10 @@ func (r *Runner) CompareWorkers(xs []int) (*Result, error) {
 
 // CompareValidTime reproduces Fig. 13 (BK) / Fig. 14 (FS).
 func (r *Runner) CompareValidTime(xs []float64) (*Result, error) {
+	return reduceRaw(r.compareValidTimeRaw(xs))
+}
+
+func (r *Runner) compareValidTimeRaw(xs []float64) (*SweepRaw, error) {
 	return r.runComparison(r.figNum(13, 14), "phi(h)", xs, func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, x, r.P.RadiusKm)
 	})
@@ -477,16 +591,81 @@ func (r *Runner) CompareValidTime(xs []float64) (*Result, error) {
 
 // CompareRadius reproduces Fig. 15 (BK) / Fig. 16 (FS).
 func (r *Runner) CompareRadius(xs []float64) (*Result, error) {
+	return reduceRaw(r.compareRadiusRaw(xs))
+}
+
+func (r *Runner) compareRadiusRaw(xs []float64) (*SweepRaw, error) {
 	return r.runComparison(r.figNum(15, 16), "r(km)", xs, func(day int, x float64) (*model.Instance, error) {
 		return r.snapshot(day, r.P.NumTasks, r.P.NumWorkers, r.P.ValidHours, x)
 	})
 }
 
-func (r *Runner) figNum(bk, fs int) string {
+// figNum resolves a BK/FS figure pair to this runner's dataset.
+func (r *Runner) figNum(bk, fs int) int {
 	if r.Data.Params.Name == "FS" {
-		return fmt.Sprintf("Fig. %d", fs)
+		return fs
 	}
-	return fmt.Sprintf("Fig. %d", bk)
+	return bk
+}
+
+// FigureOnDataset reports whether figure fig (5..16) is evaluated on
+// the named dataset: the ablations 5–8 appear on both, the algorithm
+// comparisons alternate (odd on BK, even on FS).
+func FigureOnDataset(fig int, dataset string) bool {
+	if fig < 5 || fig > 16 {
+		return false
+	}
+	if fig <= 8 {
+		return true
+	}
+	return (dataset == "FS") == (fig%2 == 0)
+}
+
+// FigureMetrics returns the metrics the paper plots for a figure: AI
+// alone for the ablations 5–8, all five for the comparisons 9–16.
+func FigureMetrics(fig int) []Metric {
+	if fig >= 5 && fig <= 8 {
+		return []Metric{MetricAI}
+	}
+	return AllMetrics
+}
+
+// HasFigure reports whether fig is evaluated on this runner's dataset.
+func (r *Runner) HasFigure(fig int) bool {
+	return FigureOnDataset(fig, r.Data.Params.Name)
+}
+
+// RunFigureRaw executes this shard's share of one figure's job grid
+// (fig 5..16, sweeps chosen by the caller's scale) and returns the raw
+// per-job metrics — the unit a ShardResult artifact collects.
+func (r *Runner) RunFigureRaw(fig int, sw Sweeps) (*SweepRaw, error) {
+	if !r.HasFigure(fig) {
+		return nil, fmt.Errorf("experiments: figure %d is not evaluated on %s", fig, r.Data.Params.Name)
+	}
+	switch fig {
+	case 5:
+		return r.ablationTasksRaw(sw.Tasks)
+	case 6:
+		return r.ablationWorkersRaw(sw.Workers)
+	case 7:
+		return r.ablationValidTimeRaw(sw.Valid)
+	case 8:
+		return r.ablationRadiusRaw(sw.Radius)
+	case 9, 10:
+		return r.compareTasksRaw(sw.Tasks)
+	case 11, 12:
+		return r.compareWorkersRaw(sw.Workers)
+	case 13, 14:
+		return r.compareValidTimeRaw(sw.Valid)
+	default: // 15, 16 — HasFigure bounds fig to 5..16
+		return r.compareRadiusRaw(sw.Radius)
+	}
+}
+
+// RunFigure is RunFigureRaw plus the reduction — the figure's Result,
+// for unsharded in-process runs.
+func (r *Runner) RunFigure(fig int, sw Sweeps) (*Result, error) {
+	return reduceRaw(r.RunFigureRaw(fig, sw))
 }
 
 func toF(xs []int) []float64 {

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/csv"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -272,6 +274,100 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVRoundTripRFC4180: field values carrying commas, quotes
+// and newlines must survive the CSV untouched (the old escaper
+// rewrote commas to semicolons, silently corrupting values). Every
+// field is gated against a conforming RFC-4180 parse-back.
+func TestWriteCSVRoundTripRFC4180(t *testing.T) {
+	res := &Result{
+		Figure:  `Fig. 9, panel "a"`,
+		Dataset: "BK",
+		XLabel:  "|S|, tasks",
+		Rows: []Row{
+			{X: 30, Alg: `IA,"quoted"`, CPUms: 1.5, Assigned: 3, AI: 0.25, AP: 0.5, TravelKm: 7},
+			{X: 0.125, Alg: "multi\nline", CPUms: 2.5, Assigned: 4, AI: 0.125, AP: 0.75, TravelKm: 8},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse back: %v", err)
+	}
+	if len(recs) != 1+len(res.Rows) {
+		t.Fatalf("parsed %d records, want %d", len(recs), 1+len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		want := []string{
+			res.Figure, res.Dataset, res.XLabel,
+			fmt.Sprintf("%g", row.X), row.Alg,
+			fmt.Sprintf("%.6f", row.CPUms), fmt.Sprintf("%.2f", row.Assigned),
+			fmt.Sprintf("%.6f", row.AI), fmt.Sprintf("%.6f", row.AP), fmt.Sprintf("%.6f", row.TravelKm),
+		}
+		if !reflect.DeepEqual(recs[i+1], want) {
+			t.Errorf("row %d parsed back as %q, want %q", i, recs[i+1], want)
+		}
+	}
+}
+
+// TestFormatTableFullSizeMatchesValueScan gates the indexed FormatTable
+// against the per-cell Value scan it replaced, on a synthetic result
+// larger than any real figure (60 sweep values × 8 series, plus a
+// duplicate cell and a hole, so first-match and missing-cell semantics
+// are pinned too).
+func TestFormatTableFullSizeMatchesValueScan(t *testing.T) {
+	res := &Result{Figure: "Fig. X", Dataset: "BK", XLabel: "|S|"}
+	const nx, na = 60, 8
+	algs := make([]string, na)
+	for a := range algs {
+		algs[a] = fmt.Sprintf("ALG%d", a)
+	}
+	for x := 0; x < nx; x++ {
+		for a, alg := range algs {
+			if x == 17 && a == 3 { // hole: cell rendered as "-"
+				continue
+			}
+			res.Rows = append(res.Rows, Row{
+				X: float64(100 + x), Alg: alg,
+				CPUms: float64(x * a), Assigned: float64(x + a),
+				AI: float64(x) + float64(a)/16, AP: float64(a) + float64(x)/64, TravelKm: float64(x ^ a),
+			})
+		}
+	}
+	// Duplicate cell with different values: the first row must win.
+	res.Rows = append(res.Rows, Row{X: 105, Alg: "ALG2", AI: -999})
+
+	for _, m := range AllMetrics {
+		var got bytes.Buffer
+		res.FormatTable(&got, m)
+
+		var want bytes.Buffer
+		fmt.Fprintf(&want, "%s %s on %s — %s vs %s\n", res.Figure, m, res.Dataset, m, res.XLabel)
+		fmt.Fprintf(&want, "%10s", res.XLabel)
+		for _, a := range res.Algorithms() {
+			fmt.Fprintf(&want, "%12s", a)
+		}
+		fmt.Fprintln(&want)
+		for _, x := range res.Xs() {
+			fmt.Fprintf(&want, "%10g", x)
+			for _, a := range res.Algorithms() {
+				v, ok := res.Value(x, a, m)
+				if !ok {
+					fmt.Fprintf(&want, "%12s", "-")
+					continue
+				}
+				fmt.Fprintf(&want, "%12.4f", v)
+			}
+			fmt.Fprintln(&want)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("metric %s: indexed table diverges from the Value scan:\n%s\nwant:\n%s", m, got.String(), want.String())
+		}
+	}
+}
+
 func TestNewRunnerValidation(t *testing.T) {
 	p := dataset.BrightkiteLike()
 	p.NumUsers = 60
@@ -356,7 +452,7 @@ func TestRunSweepFailFastSequential(t *testing.T) {
 	r.P.Parallelism = 1
 	poison := errors.New("poisoned sweep job")
 	var calls atomic.Int32
-	_, err := r.runSweep("fail", "x", []float64{1, 2, 3, 4}, []string{"s"},
+	_, err := r.runSweep(0, "x", []float64{1, 2, 3, 4}, []string{"s"},
 		func(day int, x float64) ([]core.Metrics, error) {
 			calls.Add(1)
 			if x == 2 {
@@ -384,7 +480,7 @@ func TestRunSweepFailFastParallel(t *testing.T) {
 	poison := errors.New("poisoned sweep job")
 	poisoned := make(chan struct{})
 	var calls atomic.Int32
-	_, err := r.runSweep("fail", "x", []float64{1, 2, 3, 4, 5, 6, 7, 8}, []string{"s"},
+	_, err := r.runSweep(0, "x", []float64{1, 2, 3, 4, 5, 6, 7, 8}, []string{"s"},
 		func(day int, x float64) ([]core.Metrics, error) {
 			calls.Add(1)
 			if x == 1 && day == r.P.Days[0] { // job 0, the first claim
@@ -413,7 +509,7 @@ func TestRunSweepMultiplePoisonedJobs(t *testing.T) {
 	errB := errors.New("second poisoned job")
 	for _, par := range paralleltest.WorkerCounts {
 		r.P.Parallelism = par
-		_, err := r.runSweep("fail", "x", []float64{1, 2}, []string{"s"},
+		_, err := r.runSweep(0, "x", []float64{1, 2}, []string{"s"},
 			func(day int, x float64) ([]core.Metrics, error) {
 				if x == 1 {
 					return nil, errA

@@ -88,8 +88,11 @@ type InstantResult struct {
 	OpenTasks     int
 	// Prepare is the online-phase latency of the instant: the time spent
 	// building the influence evaluator (cached-session hits make this
-	// collapse for carried-over entities). Assignment time is in
-	// Metrics.CPU, matching the paper's phase split.
+	// collapse for carried-over entities), or — on an instant with an
+	// empty pool side, where no assignment runs — the session's Sync,
+	// which is the same cache maintenance without an evaluator.
+	// Assignment time is in Metrics.CPU, matching the paper's phase
+	// split.
 	Prepare time.Duration
 	// PairMaint is the feasible-pair latency of the instant: maintaining
 	// the incremental pair index (or, under Config.ColdPairs /
@@ -195,11 +198,16 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 			// pool: new arrivals are admitted (their influence state and
 			// feasible pairs land before the next busy instant) and
 			// departed entities evicted from both the influence cache and
-			// the pair index.
-			var pairMaint time.Duration
+			// the pair index. Sync is warm online-phase work like any
+			// other instant's Prepare, so it is timed into Prepare —
+			// leaving it untimed would under-report the session's cost on
+			// sparse streams where many instants run no assignment.
+			var prep, pairMaint time.Duration
 			if p.sess != nil {
 				inst := &model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks}
+				prepStart := time.Now()
 				p.sess.Sync(inst)
+				prep = time.Since(prepStart)
 				if !p.cfg.ColdPairs {
 					pairStart := time.Now()
 					p.sess.Pairs(inst)
@@ -208,7 +216,7 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 			}
 			res.Instants = append(res.Instants, InstantResult{
 				At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
-				PairMaint: pairMaint,
+				Prepare: prep, PairMaint: pairMaint,
 			})
 			continue
 		}

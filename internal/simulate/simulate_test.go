@@ -3,6 +3,7 @@ package simulate
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"dita/internal/assign"
 	"dita/internal/core"
@@ -409,9 +410,10 @@ func TestIncrementalPairsStreamingEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return normalize(res), p
+		return res, p
 	}
-	want, _ := run(true, 1)
+	wantRaw, _ := run(true, 1)
+	want := normalize(wantRaw)
 	if got := len(want.Instants); got < 200 {
 		t.Fatalf("churn run covers %d instants, the acceptance gate needs >= 200", got)
 	}
@@ -419,8 +421,28 @@ func TestIncrementalPairsStreamingEquivalence(t *testing.T) {
 		t.Fatalf("churn run saw %d assigned, %d expired — the gate needs arrivals, retirements and expiries",
 			want.TotalAssigned, want.ExpiredTasks)
 	}
-	for _, par := range paralleltest.WorkerCounts {
-		got, p := run(false, par)
+	for pi, par := range paralleltest.WorkerCounts {
+		gotRaw, p := run(false, par)
+		if pi == 0 {
+			// Instants with an empty pool side run no assignment but the
+			// warm session still syncs its caches; that work must land in
+			// Prepare — untimed, -simbench would under-report the warm
+			// online phase on sparse streams.
+			emptyInstants, emptySync := 0, time.Duration(0)
+			for _, in := range gotRaw.Instants {
+				if in.Metrics.Algorithm == "" {
+					emptyInstants++
+					emptySync += in.Prepare
+				}
+			}
+			if emptyInstants == 0 {
+				t.Fatal("churn run has no empty-pool instants; the Sync-accounting gate needs some")
+			}
+			if emptySync == 0 {
+				t.Error("empty-pool instants recorded zero Prepare: Session.Sync ran untimed")
+			}
+		}
+		got := normalize(gotRaw)
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("parallelism %d: incremental pair index diverged from cold FeasiblePairs rescans", par)
 		}
