@@ -8,6 +8,7 @@
 //	           [-csv dir] [-days n] [-parallel n] [-rrrbench file.json]
 //	           [-simbench file.json]
 //	           [-shard k/N -shard-out file.json] [-merge 'glob']
+//	           [-orchestrate N -shard-dir dir]
 //
 // A full run with -scale full uses Table II defaults (|S|=1500, |W|=1200,
 // ϕ=5h, r=25km, sweeps as in the paper) and takes a few minutes; -scale
@@ -23,6 +24,23 @@
 // and emits the usual tables and CSV — bit-identical to a
 // single-process run in every column except cpu_ms, which is each
 // process's measured wall clock.
+//
+// Sharded workers are crash-safe: every completed (figure, x, day) job
+// is appended to a checkpoint journal (<shard-out>.journal) before the
+// sweep moves on, the final artifact is written atomically
+// (write-to-temp + fsync + rename) and sealed with a content checksum
+// that every load verifies, and a relaunched worker replays the journal
+// and re-runs only unfinished jobs. SIGINT/SIGTERM flush the journal,
+// scrub temp files and exit with code 75, which a supervisor treats as
+// retryable.
+//
+// -orchestrate N runs the whole sharded sweep under supervision: it
+// spawns the N shard workers as subprocesses (artifacts in -shard-dir),
+// restarts crashed, interrupted, corrupt-output or deadline-overrunning
+// workers with capped exponential backoff (deterministic jitter),
+// fails fast after repeated identical deterministic failures, and
+// finishes with the validating merge — one command from nothing to
+// fault-tolerant figures.
 //
 // -parallel bounds the worker pool used for the whole training phase
 // (dataset generation, LDA Gibbs, mobility fitting, RRR sampling) and
@@ -47,22 +65,26 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"slices"
-	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"dita/internal/assign"
+	"dita/internal/atomicio"
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/experiments"
@@ -92,14 +114,20 @@ func main() {
 		shardFlag    = flag.String("shard", "", "run as worker k of an N-way sharded sweep (k/N); requires -shard-out")
 		shardOut     = flag.String("shard-out", "", "file the sharded worker writes its raw-metrics JSON artifact to")
 		mergeFlag    = flag.String("merge", "", "merge shard artifacts matching this glob into the figures and exit")
+		orchestrate  = flag.Int("orchestrate", 0, "supervise an N-way sharded sweep: spawn, retry and merge N shard workers")
+		shardDir     = flag.String("shard-dir", "", "directory for the orchestrated workers' artifacts (default: a temp dir, removed on success)")
+		shardTimeout = flag.Duration("shard-timeout", 15*time.Minute, "per-attempt deadline for an orchestrated worker (0 = none)")
+		retries      = flag.Int("retries", 3, "how many times the orchestrator relaunches a failed worker")
+		retryBase    = flag.Duration("retry-base", time.Second, "base delay of the orchestrator's capped exponential backoff")
 	)
 	flag.Parse()
 
 	if *rrrBench != "" || *simBench != "" {
-		if *shardFlag != "" || *shardOut != "" || *mergeFlag != "" {
-			log.Fatal("-rrrbench/-simbench are standalone modes; they cannot be combined with -shard/-shard-out/-merge")
+		if *shardFlag != "" || *shardOut != "" || *mergeFlag != "" || *orchestrate != 0 {
+			log.Fatal("-rrrbench/-simbench are standalone modes; they cannot be combined with -shard/-shard-out/-merge/-orchestrate")
 		}
 	}
+	installSignalHandler()
 	if *rrrBench != "" {
 		if err := writeRRRBench(*rrrBench); err != nil {
 			log.Fatalf("rrrbench: %v", err)
@@ -113,13 +141,42 @@ func main() {
 		return
 	}
 	if *mergeFlag != "" {
-		if *shardFlag != "" || *shardOut != "" {
-			log.Fatal("-merge is a coordinator mode; it cannot be combined with -shard/-shard-out")
+		if *shardFlag != "" || *shardOut != "" || *orchestrate != 0 {
+			log.Fatal("-merge is a coordinator mode; it cannot be combined with -shard/-shard-out/-orchestrate")
 		}
 		if err := runMerge(*mergeFlag, *csvDir); err != nil {
 			log.Fatalf("merge: %v", err)
 		}
 		return
+	}
+	if *orchestrate != 0 {
+		if *shardFlag != "" || *shardOut != "" {
+			log.Fatal("-orchestrate is a supervisor mode; it cannot be combined with -shard/-shard-out")
+		}
+		err := runOrchestrate(orchestrateConfig{
+			workers:    *orchestrate,
+			shardDir:   *shardDir,
+			csvDir:     *csvDir,
+			timeout:    *shardTimeout,
+			maxRetries: *retries,
+			retryBase:  *retryBase,
+			seed:       *seed,
+			workerArgs: []string{
+				"-datasets", *datasetsFlag,
+				"-figures", *figuresFlag,
+				"-scale", *scale,
+				"-days", strconv.Itoa(*days),
+				"-seed", strconv.FormatUint(*seed, 10),
+				"-parallel", strconv.Itoa(*par),
+			},
+		})
+		if err != nil {
+			log.Fatalf("orchestrate: %v", err)
+		}
+		return
+	}
+	if *shardDir != "" {
+		log.Fatal("-shard-dir only applies to -orchestrate")
 	}
 	var shard experiments.Shard
 	if *shardFlag != "" {
@@ -152,6 +209,28 @@ func main() {
 		}
 	}
 
+	// A sharded worker checkpoints every completed job into a journal
+	// next to its artifact, so a crashed or killed worker's relaunch
+	// resumes mid-grid instead of re-running the whole slice. The
+	// journal is bound to the exact invocation (flags, shard, seed): a
+	// leftover journal from different flags is rejected, not replayed.
+	var journal *experiments.Journal
+	if *shardFlag != "" {
+		sig := fmt.Sprintf("datasets=%s figures=%s scale=%s days=%d", *datasetsFlag, *figuresFlag, *scale, *days)
+		var err error
+		journal, err = experiments.OpenJournal(*shardOut+journalSuffix, sig, shard, *seed)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		activeJournal.Store(journal)
+		if journal.Truncated {
+			log.Printf("shard %s: journal %s had a torn tail (crashed predecessor); dropped it, intact records kept", shard, journal.Path())
+		}
+		if n := journal.Resumed(); n > 0 {
+			fmt.Printf("shard %s: resumed %d completed jobs from journal %s\n", shard, n, journal.Path())
+		}
+	}
+
 	var shardFigs []*experiments.SweepRaw
 	for _, name := range strings.Split(*datasetsFlag, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
@@ -164,27 +243,64 @@ func main() {
 		default:
 			log.Fatalf("unknown dataset %q (want bk or fs)", name)
 		}
-		shardFigs = append(shardFigs, runDataset(dp, wanted, *scale, *csvDir, *days, *seed, *par, shard, *shardFlag != "")...)
+		shardFigs = append(shardFigs, runDataset(dp, wanted, *scale, *csvDir, *days, *seed, *par, shard, *shardFlag != "", journal)...)
 	}
 	if *shardFlag != "" {
 		sr := &experiments.ShardResult{Shard: shard, Seed: *seed, Figures: shardFigs}
-		f, err := os.Create(*shardOut)
+		out, err := sr.Encode()
 		if err != nil {
 			log.Fatalf("shard-out: %v", err)
 		}
-		if err := sr.Write(f); err != nil {
-			f.Close()
+		if err := atomicio.WriteFile(*shardOut, out, 0o644); err != nil {
 			log.Fatalf("shard-out: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("shard-out: %v", err)
+		// The artifact is sealed and durable; the journal is now
+		// redundant and would only confuse a later invocation.
+		activeJournal.Store(nil)
+		if err := journal.Remove(); err != nil {
+			log.Fatalf("journal: %v", err)
 		}
-		jobs := 0
+		jobs, resumed := 0, 0
 		for _, raw := range shardFigs {
 			jobs += len(raw.Jobs)
+			resumed += raw.Resumed
 		}
-		fmt.Printf("shard %s: wrote %d figures (%d jobs) to %s\n", shard, len(shardFigs), jobs, *shardOut)
+		fmt.Printf("shard %s: wrote %d figures (%d jobs, %d resumed) to %s\n", shard, len(shardFigs), jobs, resumed, *shardOut)
 	}
+}
+
+// journalSuffix derives a worker's checkpoint-journal path from its
+// artifact path.
+const journalSuffix = ".journal"
+
+// retryableExitCode is the exit status a worker uses for "I was
+// interrupted, my checkpoint is flushed, run me again" — EX_TEMPFAIL by
+// sysexits convention. The orchestrator retries it without counting it
+// toward the identical-failure fail-fast.
+const retryableExitCode = 75
+
+// activeJournal is the journal the signal handler flushes: set once the
+// worker opens it, cleared once the sealed artifact makes it redundant.
+var activeJournal atomic.Pointer[experiments.Journal]
+
+// installSignalHandler makes SIGINT/SIGTERM a clean, retryable death:
+// flush the checkpoint journal so no completed job is lost, scrub
+// in-flight temp files so no *.tmp debris survives, and exit with the
+// code supervisors treat as "relaunch me". (SIGKILL is untrappable —
+// that path is covered by the journal's per-record fsync and the
+// loaders' temp-skipping and checksum validation instead.)
+func installSignalHandler() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		if j := activeJournal.Load(); j != nil {
+			j.Sync()
+		}
+		atomicio.RemoveTemps()
+		fmt.Fprintf(os.Stderr, "dita-bench: caught %v; checkpoint flushed, exiting retryable\n", s)
+		os.Exit(retryableExitCode)
+	}()
 }
 
 // runMerge combines the shard artifacts matching glob into full figure
@@ -192,27 +308,22 @@ func main() {
 // the coordinator half of a sharded sweep. No dataset generation or
 // training happens here — everything needed is in the artifacts.
 func runMerge(glob, csvDir string) error {
-	paths, err := filepath.Glob(glob)
+	paths, tmps, err := experiments.GlobArtifacts(glob)
 	if err != nil {
 		return err
+	}
+	for _, tmp := range tmps {
+		log.Printf("warning: skipping leftover temp artifact %s (a writer died mid-write)", tmp)
 	}
 	if len(paths) == 0 {
 		return fmt.Errorf("no shard artifacts match %q", glob)
 	}
-	sort.Strings(paths)
-	var shards []*experiments.ShardResult
-	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		sr, err := experiments.ReadShardResult(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		fmt.Printf("loaded shard %s from %s (%d figures)\n", sr.Shard, path, len(sr.Figures))
-		shards = append(shards, sr)
+	shards, err := experiments.LoadShardSet(paths)
+	if err != nil {
+		return err
+	}
+	for i, sr := range shards {
+		fmt.Printf("loaded shard %s from %s (%d figures)\n", sr.Shard, paths[i], len(sr.Figures))
 	}
 	raws, err := experiments.MergeRaw(shards)
 	if err != nil {
@@ -253,7 +364,7 @@ func csvName(fig int, dataset string) string {
 // mode it prints tables (and optional CSV) and returns nil; as a
 // sharded worker it runs only the shard's slice of each figure's job
 // grid and returns the raw sweeps for the caller's artifact.
-func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64, par int, shard experiments.Shard, workerMode bool) []*experiments.SweepRaw {
+func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, daysOverride int, seed uint64, par int, shard experiments.Shard, workerMode bool, journal *experiments.Journal) []*experiments.SweepRaw {
 	any := false
 	for f := range wanted {
 		if experiments.FigureOnDataset(f, dp.Name) {
@@ -273,6 +384,9 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 	params.Seed = seed
 	params.Parallelism = par
 	params.Shard = shard
+	if journal != nil {
+		params.Checkpoint = journal
+	}
 	if daysOverride > 0 {
 		params.Days = params.Days[:0]
 		last := dp.Days - 1
@@ -313,8 +427,8 @@ func runDataset(dp dataset.Params, wanted map[int]bool, scale, csvDir string, da
 			if err != nil {
 				log.Fatalf("figure %d on %s: %v", fig, dp.Name, err)
 			}
-			fmt.Printf("    [figure %d on %s: shard %s ran %d of %d jobs in %.1fs]\n",
-				fig, dp.Name, shard, len(raw.Jobs), len(raw.Xs)*len(raw.Days), time.Since(start).Seconds())
+			fmt.Printf("    [figure %d on %s: shard %s ran %d of %d jobs (%d resumed) in %.1fs]\n",
+				fig, dp.Name, shard, len(raw.Jobs), len(raw.Xs)*len(raw.Days), raw.Resumed, time.Since(start).Seconds())
 			out = append(out, raw)
 			continue
 		}
@@ -337,15 +451,11 @@ func writeCSV(dir, name string, res *experiments.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
 		return err
 	}
-	if err := res.WriteCSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644)
 }
 
 // rrrBenchPoint is one scaling measurement of rrr.Build.
@@ -632,7 +742,7 @@ func writeRRRBench(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // writeSimBench runs one streaming day twice — once rebuilding the
@@ -813,7 +923,7 @@ func writeSimBench(path string, par int) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // measureTraining times the three training-phase components at one

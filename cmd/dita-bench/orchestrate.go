@@ -1,0 +1,261 @@
+// The -orchestrate supervisor: spawn the N shard workers of a sharded
+// sweep as subprocesses, keep each one alive through crashes,
+// interrupts, deadline overruns and corrupt output with capped
+// exponential backoff, distinguish retryable deaths from deterministic
+// failures (which fail fast instead of burning retries), and finish
+// with the validating merge — one command from nothing to
+// fault-tolerant figures.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"dita/internal/atomicio"
+	"dita/internal/experiments"
+	"dita/internal/randx"
+)
+
+// orchestrateConfig parameterizes one supervised sharded sweep.
+type orchestrateConfig struct {
+	workers    int           // shard count N
+	shardDir   string        // artifact directory ("" = temp dir, removed on success)
+	csvDir     string        // passed through to the final merge
+	timeout    time.Duration // per-attempt worker deadline (0 = none)
+	maxRetries int           // relaunches per shard beyond the first attempt
+	retryBase  time.Duration // backoff base; attempt k waits ~base·2^(k-1), capped
+	seed       uint64        // jitter determinism (the workers get it via workerArgs)
+	workerArgs []string      // evaluation flags every worker shares
+}
+
+// backoffCap bounds the exponential backoff so a long retry budget
+// cannot stretch into hour-long idle gaps.
+const backoffCap = 30 * time.Second
+
+// identicalFailureLimit is how many times the same deterministic
+// failure signature (exit code + final output line) may repeat before
+// the orchestrator stops retrying that shard: a worker that dies the
+// same way twice is broken, not unlucky.
+const identicalFailureLimit = 2
+
+// runOrchestrate supervises cfg.workers shard workers to completion and
+// merges their artifacts. Shards run concurrently, each under its own
+// retry loop; the first permanent failure cancels the others.
+func runOrchestrate(cfg orchestrateConfig) error {
+	if cfg.workers < 1 {
+		return fmt.Errorf("-orchestrate %d: need at least one worker", cfg.workers)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating own binary: %w", err)
+	}
+	dir := cfg.shardDir
+	ephemeral := dir == ""
+	if ephemeral {
+		if dir, err = os.MkdirTemp("", "dita-shards-"); err != nil {
+			return err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for k := 0; k < cfg.workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := superviseShard(ctx, self, dir, k, cfg); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel() // no point finishing a sweep that cannot merge
+				}
+				mu.Unlock()
+			}
+		}(k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	if err := runMerge(filepath.Join(dir, "shard_*.json"), cfg.csvDir); err != nil {
+		return err
+	}
+	if ephemeral {
+		return os.RemoveAll(dir)
+	}
+	// Success leaves the artifacts for inspection but no process debris:
+	// journals are removed by the workers themselves, temp files by the
+	// atomic-write protocol; anything still matching here is a bug
+	// worth hearing about.
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*"+atomicio.TempSuffix))
+	journals, _ := filepath.Glob(filepath.Join(dir, "*"+journalSuffix))
+	for _, stray := range append(leftovers, journals...) {
+		log.Printf("warning: removing stray %s after a successful sweep", stray)
+		os.Remove(stray)
+	}
+	return nil
+}
+
+// superviseShard runs worker k's retry loop: launch, classify the
+// death, back off, relaunch — until a validated artifact exists or the
+// retry budget (or the identical-failure limit) is exhausted.
+func superviseShard(ctx context.Context, self, dir string, k int, cfg orchestrateConfig) error {
+	artifact := filepath.Join(dir, fmt.Sprintf("shard_%d.json", k))
+	shard := fmt.Sprintf("%d/%d", k, cfg.workers)
+	failures := map[string]int{}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil // another shard already failed permanently
+		}
+		res := launchWorker(ctx, self, shard, artifact, cfg)
+		if res.err == nil {
+			if sr, err := validateArtifact(artifact, k, cfg); err != nil {
+				// Exit 0 with a bad artifact is a lying worker: remove the
+				// artifact so the retry starts clean, and retry — the write
+				// may have raced a disk hiccup rather than a logic bug.
+				os.Remove(artifact)
+				res = workerResult{retryable: true, reason: fmt.Sprintf("artifact validation failed: %v", err)}
+			} else {
+				jobs := 0
+				for _, raw := range sr.Figures {
+					jobs += len(raw.Jobs)
+				}
+				fmt.Printf("[shard %s] done after attempt %d: %d figures, %d jobs\n", shard, attempt, len(sr.Figures), jobs)
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+
+		if !res.retryable {
+			failures[res.reason]++
+			if failures[res.reason] >= identicalFailureLimit {
+				return fmt.Errorf("shard %s: failing deterministically (%d× %q) — not retrying", shard, failures[res.reason], res.reason)
+			}
+		}
+		if attempt > cfg.maxRetries {
+			return fmt.Errorf("shard %s: no valid artifact after %d attempts (last: %s)", shard, attempt, res.reason)
+		}
+		delay := backoffDelay(cfg.retryBase, attempt, cfg.seed, uint64(k))
+		log.Printf("[shard %s] attempt %d failed (%s); retrying in %s", shard, attempt, res.reason, delay)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// workerResult classifies one worker attempt's death.
+type workerResult struct {
+	err       error
+	retryable bool   // interrupted/killed/timed out — not the worker's fault
+	reason    string // human-readable and, for deterministic failures, a stable signature
+}
+
+// launchWorker runs one attempt of shard k as a subprocess under the
+// per-attempt deadline, streaming its output with a [shard k/N] prefix
+// and retaining the last line as the failure signature.
+func launchWorker(ctx context.Context, self, shard, artifact string, cfg orchestrateConfig) workerResult {
+	attemptCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.timeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	args := append([]string{"-shard", shard, "-shard-out", artifact}, cfg.workerArgs...)
+	cmd := exec.CommandContext(attemptCtx, self, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return workerResult{err: err, reason: err.Error()}
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		return workerResult{err: err, reason: fmt.Sprintf("spawn failed: %v", err)}
+	}
+	lastLine := ""
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) != "" {
+			lastLine = line
+		}
+		fmt.Printf("[shard %s] %s\n", shard, line)
+	}
+	err = cmd.Wait()
+	if err == nil {
+		return workerResult{}
+	}
+	if attemptCtx.Err() == context.DeadlineExceeded {
+		return workerResult{err: err, retryable: true, reason: fmt.Sprintf("deadline %s exceeded", cfg.timeout)}
+	}
+	var exitErr *exec.ExitError
+	if errors.As(err, &exitErr) {
+		switch code := exitErr.ExitCode(); {
+		case code == retryableExitCode:
+			return workerResult{err: err, retryable: true, reason: "worker interrupted (exit 75, checkpoint flushed)"}
+		case code == -1:
+			// Killed by a signal it never got to handle (SIGKILL, OOM):
+			// the crash the journal exists for.
+			return workerResult{err: err, retryable: true, reason: fmt.Sprintf("killed by signal (%v)", exitErr.ProcessState)}
+		default:
+			return workerResult{err: err, reason: fmt.Sprintf("exit %d: %s", code, lastLine)}
+		}
+	}
+	return workerResult{err: err, retryable: true, reason: err.Error()}
+}
+
+// validateArtifact load-checks a worker's artifact — checksum, shard
+// spec and seed — so a lying or torn exit-0 worker is caught here, not
+// at the merge.
+func validateArtifact(path string, k int, cfg orchestrateConfig) (*experiments.ShardResult, error) {
+	sr, err := experiments.LoadShardFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if got := sr.Shard.String(); got != fmt.Sprintf("%d/%d", k, cfg.workers) {
+		return nil, fmt.Errorf("%s: artifact claims shard %s, want %d/%d", path, got, k, cfg.workers)
+	}
+	if sr.Seed != cfg.seed {
+		return nil, fmt.Errorf("%s: artifact ran under seed %d, want %d", path, sr.Seed, cfg.seed)
+	}
+	return sr, nil
+}
+
+// backoffDelay is the capped exponential backoff with deterministic
+// jitter: attempt k of a shard waits base·2^(k-1), capped, plus up to
+// 25% jitter derived from (seed, shard, attempt) — reproducible run to
+// run, decorrelated shard to shard so relaunches do not stampede.
+func backoffDelay(base time.Duration, attempt int, seed, shard uint64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	jitter := time.Duration(randx.Mix(seed, shard, uint64(attempt)) % uint64(d/4+1))
+	return d + jitter
+}

@@ -1,0 +1,141 @@
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dita/internal/faultinject"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	want := []byte("first content\n")
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("read back %q, want %q", got, want)
+	}
+	// Overwrite: the replacement must fully supersede longer old content.
+	if err := WriteFile(path, []byte("2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "2\n" {
+		t.Errorf("after overwrite read back %q, want %q", got, "2\n")
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), TempSuffix) {
+			t.Errorf("temp file %s left behind by a successful write", e.Name())
+		}
+	}
+}
+
+func TestWriteFileFailureLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-parent", "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Errorf("failed write left debris: %v", ents)
+	}
+}
+
+func TestRemoveTemps(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "artifact.json"+TempSuffix)
+	if err := os.WriteFile(tmp, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	registerTemp(tmp)
+	RemoveTemps()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("registered temp survived RemoveTemps: %v", err)
+	}
+	// Idempotent on an empty registry.
+	RemoveTemps()
+}
+
+func TestSumStableAndDistinct(t *testing.T) {
+	a, b := Sum([]byte("payload")), Sum([]byte("payload"))
+	if a != b {
+		t.Errorf("Sum is not a pure function: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("Sum length %d, want 64 hex chars", len(a))
+	}
+	if Sum([]byte("payload2")) == a {
+		t.Error("distinct payloads collide")
+	}
+}
+
+// TestFaultInjectedWritePaths re-executes the test binary with
+// DITA_FAULTS armed and asserts on the on-disk outcome of a real
+// process death: the pre-rename crash leaves only *.tmp debris (the
+// target absent), and the torn write leaves a renamed-but-truncated
+// artifact — the two corruption shapes the merge loader must detect.
+func TestFaultInjectedWritePaths(t *testing.T) {
+	if target := os.Getenv("ATOMICIO_HELPER_PATH"); target != "" {
+		payload := []byte(strings.Repeat("0123456789abcdef", 16))
+		if err := WriteFile(target, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	run := func(spec, target string) error {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestFaultInjectedWritePaths")
+		cmd.Env = append(os.Environ(),
+			"ATOMICIO_HELPER_PATH="+target,
+			faultinject.EnvVar+"="+spec)
+		_, err := cmd.CombinedOutput()
+		return err
+	}
+
+	t.Run("pre-rename crash leaves only tmp", func(t *testing.T) {
+		dir := t.TempDir()
+		target := filepath.Join(dir, "artifact.json")
+		if err := run("atomicio.pre-rename:crash", target); err == nil {
+			t.Fatal("helper survived its armed crash")
+		}
+		if _, err := os.Stat(target); !os.IsNotExist(err) {
+			t.Errorf("target exists after a pre-rename crash: %v", err)
+		}
+		if _, err := os.Stat(target + TempSuffix); err != nil {
+			t.Errorf("expected tmp debris after a pre-rename crash: %v", err)
+		}
+	})
+
+	t.Run("torn write leaves truncated artifact", func(t *testing.T) {
+		dir := t.TempDir()
+		target := filepath.Join(dir, "artifact.json")
+		if err := run("atomicio.write:torn", target); err == nil {
+			t.Fatal("helper survived its torn-write SIGKILL")
+		}
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatalf("torn artifact missing: %v", err)
+		}
+		if len(got) != 16*16/2 {
+			t.Errorf("torn artifact holds %d bytes, want %d", len(got), 16*16/2)
+		}
+		if _, err := os.Stat(target + TempSuffix); !os.IsNotExist(err) {
+			t.Errorf("tmp debris after a completed torn rename: %v", err)
+		}
+	})
+}

@@ -49,6 +49,15 @@ type Params struct {
 	// merged later by Merge against the other shards' artifacts. The
 	// zero value runs everything in-process, unsharded.
 	Shard Shard
+	// Checkpoint, when non-nil, makes the sweeps resumable: each
+	// completed (figure, x, day) job is recorded before the sweep moves
+	// on, and a job the checkpoint already holds is skipped — its
+	// recorded metrics are used verbatim. Shard workers plug a Journal
+	// in here so a crashed worker's successor re-runs only unfinished
+	// jobs. Determinism makes the splice exact: a recorded job's
+	// metrics are bit-identical to what re-evaluation would produce
+	// (CPU wall clock aside, which is measured, not computed).
+	Checkpoint Checkpoint
 }
 
 // Default returns the paper's Table II settings, evaluated over the last
@@ -391,14 +400,34 @@ func (r *Runner) runSweep(fig int, xlabel string, xs []float64, series []string,
 	metrics := make([][]core.Metrics, len(owned)) // per owned job, per series
 	errs := make([]error, len(owned))
 	var failed atomic.Bool
+	var resumed atomic.Int64
+	cp := r.P.Checkpoint
+	dsName := r.Data.Params.Name
 	parallel.For(parallel.Workers(r.P.Parallelism), len(owned), func(_, i int) {
 		if failed.Load() {
 			return
 		}
 		j := owned[i]
-		ms, err := eval(r.P.Days[j%nd], xs[j/nd])
+		day, x := r.P.Days[j%nd], xs[j/nd]
+		if cp != nil {
+			if ms, ok := cp.Lookup(dsName, fig, x, day); ok {
+				if len(ms) != len(series) {
+					errs[i] = fmt.Errorf("experiments: checkpointed job (fig %d, x=%g, day %d) holds %d metrics for %d series — stale or foreign journal",
+						fig, x, day, len(ms), len(series))
+					failed.Store(true)
+					return
+				}
+				metrics[i] = ms
+				resumed.Add(1)
+				return
+			}
+		}
+		ms, err := eval(day, x)
 		if err == nil && len(ms) != len(series) {
 			err = fmt.Errorf("experiments: eval returned %d metrics for %d series", len(ms), len(series))
+		}
+		if err == nil && cp != nil {
+			err = cp.Record(dsName, fig, x, day, ms)
 		}
 		if err != nil {
 			errs[i] = err
@@ -415,7 +444,8 @@ func (r *Runner) runSweep(fig int, xlabel string, xs []float64, series []string,
 	raw := &SweepRaw{
 		Fig: fig, Figure: fmt.Sprintf("Fig. %d", fig), Dataset: r.Data.Params.Name,
 		XLabel: xlabel, Series: series, Xs: xs, Days: r.P.Days, Shard: shard,
-		Jobs: make([]JobMetrics, 0, len(owned)),
+		Jobs:    make([]JobMetrics, 0, len(owned)),
+		Resumed: int(resumed.Load()),
 	}
 	for i, j := range owned {
 		raw.Jobs = append(raw.Jobs, JobMetrics{X: xs[j/nd], Day: r.P.Days[j%nd], Metrics: metrics[i]})

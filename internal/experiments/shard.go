@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dita/internal/atomicio"
 	"dita/internal/core"
 )
 
@@ -112,6 +113,11 @@ type SweepRaw struct {
 	Days    []int        `json:"days"`   // evaluation days, averaging order
 	Shard   Shard        `json:"shard"`
 	Jobs    []JobMetrics `json:"jobs"` // the owned jobs, sequential order
+	// Resumed counts the jobs of this sweep that were spliced in from a
+	// checkpoint journal instead of evaluated — runtime accounting for
+	// the worker's progress report, deliberately outside the artifact
+	// (the merged figures must not depend on how a worker got there).
+	Resumed int `json:"-"`
 }
 
 // grid arranges the raw jobs into the figure's full job grid, indexed
@@ -199,32 +205,87 @@ func (sr *SweepRaw) Reduce() (*Result, error) {
 // executed. JSON round-trips every float bit-exactly (encoding/json
 // emits the shortest representation that parses back to the same
 // float64), so a merged run loses nothing to serialization.
+//
+// Checksum is the SHA-256 of the artifact's own canonical encoding
+// (itself with Checksum empty), recorded by Encode/Write and verified
+// by every load, so an artifact torn by a crashed or lying writer —
+// truncated, bit-flipped, spliced — is rejected at the merge instead of
+// silently averaged into the figures.
 type ShardResult struct {
-	Shard   Shard       `json:"shard"`
-	Seed    uint64      `json:"seed"`
-	Figures []*SweepRaw `json:"figures"`
+	Shard    Shard       `json:"shard"`
+	Seed     uint64      `json:"seed"`
+	Figures  []*SweepRaw `json:"figures"`
+	Checksum string      `json:"checksum,omitempty"`
 }
 
-// Write serializes the artifact as indented JSON.
-func (sr *ShardResult) Write(w io.Writer) error {
+// payload is the canonical byte form the checksum covers: the artifact
+// with its Checksum field empty, marshalled exactly as Encode writes
+// it. Struct marshalling is deterministic (fixed field order, no maps),
+// so the loader can re-derive these bytes from the decoded value.
+func (sr *ShardResult) payload() ([]byte, error) {
+	c := *sr
+	c.Checksum = ""
+	return json.MarshalIndent(&c, "", "  ")
+}
+
+// Encode seals the artifact — records its content checksum — and
+// returns the bytes a worker writes to disk (via atomicio, so a reader
+// never sees them half-flushed).
+func (sr *ShardResult) Encode() ([]byte, error) {
+	body, err := sr.payload()
+	if err != nil {
+		return nil, err
+	}
+	sr.Checksum = atomicio.Sum(body)
 	out, err := json.MarshalIndent(sr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Write seals the artifact and serializes it as indented JSON.
+func (sr *ShardResult) Write(w io.Writer) error {
+	out, err := sr.Encode()
 	if err != nil {
 		return err
 	}
-	_, err = w.Write(append(out, '\n'))
+	_, err = w.Write(out)
 	return err
 }
 
-// ReadShardResult parses an artifact and validates its shard spec.
-func ReadShardResult(r io.Reader) (*ShardResult, error) {
+// DecodeShardResult parses an artifact, verifies its content checksum
+// and validates its shard spec. An artifact without a checksum is
+// rejected too: it either predates the sealed format or lost its seal
+// to tampering, and a merge must not average bytes it cannot vouch for.
+func DecodeShardResult(data []byte) (*ShardResult, error) {
 	var sr ShardResult
-	if err := json.NewDecoder(r).Decode(&sr); err != nil {
+	if err := json.Unmarshal(data, &sr); err != nil {
 		return nil, fmt.Errorf("experiments: reading shard artifact: %w", err)
+	}
+	if sr.Checksum == "" {
+		return nil, fmt.Errorf("experiments: shard artifact carries no content checksum — unsealed or truncated write")
+	}
+	body, err := sr.payload()
+	if err != nil {
+		return nil, err
+	}
+	if sum := atomicio.Sum(body); sum != sr.Checksum {
+		return nil, fmt.Errorf("experiments: shard artifact checksum mismatch (recorded %.12s…, content %.12s…) — torn or corrupted write", sr.Checksum, sum)
 	}
 	if err := sr.Shard.Validate(); err != nil {
 		return nil, err
 	}
 	return &sr, nil
+}
+
+// ReadShardResult is DecodeShardResult over a stream.
+func ReadShardResult(r io.Reader) (*ShardResult, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading shard artifact: %w", err)
+	}
+	return DecodeShardResult(data)
 }
 
 // figureKey identifies one figure across shard artifacts.

@@ -1,0 +1,229 @@
+// Package faultinject compiles controlled failure points into the
+// production binaries so the fault-tolerant sweep orchestration can be
+// tested end-to-end against real process death, real stalls and real
+// torn artifact writes — not mocks. Every point is inert unless the
+// DITA_FAULTS environment variable arms it, and the disarmed fast path
+// is a single atomic load, so shipping the points in hot paths costs
+// nothing.
+//
+// Spec grammar (comma-separated entries):
+//
+//	DITA_FAULTS = point:mode[:key=value]...[,point:mode...]
+//
+// Modes:
+//
+//	crash  kill the process with SIGKILL — an un-trappable death, the
+//	       worst-case worker loss a supervisor must survive
+//	exit   terminate via os.Exit(code) (default 1) — a "deterministic
+//	       failure" as far as a supervisor can tell
+//	stall  sleep for ms milliseconds (default one hour) — a hung worker
+//	       for deadline supervision to reap
+//	torn   truncate the write passing through Torn to its first half,
+//	       then SIGKILL after the caller completes the write — a torn
+//	       artifact on disk, as a lying filesystem would leave it
+//
+// Keys:
+//
+//	hit=N      fire on the Nth call of the point in this process
+//	           (default 1); earlier and later calls are untouched
+//	once=PATH  cross-process latch: the first process to fire creates
+//	           PATH with O_EXCL and fires; any process finding PATH
+//	           already present leaves the point disarmed. This is what
+//	           keeps a supervised retry from re-crashing forever.
+//	ms=N       stall duration in milliseconds
+//	code=N     exit code for the exit mode
+//
+// Example — SIGKILL a sweep worker right after its third journaled job,
+// exactly once across all retries:
+//
+//	DITA_FAULTS='journal.record:crash:hit=3:once=/tmp/crash.latch'
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Mode is a fault entry's failure behaviour.
+type Mode string
+
+// The supported failure modes.
+const (
+	Crash Mode = "crash"
+	Exit  Mode = "exit"
+	Stall Mode = "stall"
+	Torn  Mode = "torn"
+)
+
+// fault is one armed entry of the DITA_FAULTS spec.
+type fault struct {
+	point string
+	mode  Mode
+	hit   int64  // fire on the Nth call of the point
+	once  string // cross-process latch file; empty = fire unconditionally
+	ms    int64  // stall duration
+	code  int    // exit code
+	calls atomic.Int64
+	dead  atomic.Bool // already fired, or lost the once-latch race
+}
+
+var (
+	armed  atomic.Bool // fast-path gate: false means every point is a no-op
+	parse  sync.Once
+	faults []*fault
+)
+
+// EnvVar names the environment variable the package arms itself from.
+const EnvVar = "DITA_FAULTS"
+
+// load parses DITA_FAULTS exactly once. A malformed spec is a hard
+// error: silently ignoring it would make a recovery test pass without
+// ever injecting its fault.
+func load() {
+	parse.Do(func() {
+		spec := os.Getenv(EnvVar)
+		if spec == "" {
+			return
+		}
+		fs, err := parseSpecs(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: %v\n", err)
+			os.Exit(2)
+		}
+		faults = fs
+		armed.Store(len(faults) > 0)
+	})
+}
+
+// parseSpecs parses the comma-separated entry list.
+func parseSpecs(spec string) ([]*fault, error) {
+	var out []*fault
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		fields := strings.Split(entry, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("entry %q is not point:mode[:key=value...]", entry)
+		}
+		f := &fault{point: fields[0], mode: Mode(fields[1]), hit: 1, ms: int64(time.Hour / time.Millisecond), code: 1}
+		switch f.mode {
+		case Crash, Exit, Stall, Torn:
+		default:
+			return nil, fmt.Errorf("entry %q: unknown mode %q", entry, fields[1])
+		}
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("entry %q: option %q is not key=value", entry, kv)
+			}
+			switch k {
+			case "once":
+				f.once = v
+			case "hit", "ms", "code":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("entry %q: option %s=%q wants a positive integer", entry, k, v)
+				}
+				switch k {
+				case "hit":
+					f.hit = n
+				case "ms":
+					f.ms = n
+				case "code":
+					f.code = int(n)
+				}
+			default:
+				return nil, fmt.Errorf("entry %q: unknown option %q", entry, k)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// due reports whether this call is the fault's firing call: the Nth hit
+// of the point, with the once-latch (when configured) won atomically
+// across processes.
+func (f *fault) due() bool {
+	if f.dead.Load() {
+		return false
+	}
+	if f.calls.Add(1) != f.hit {
+		return false
+	}
+	f.dead.Store(true) // the Nth call is the only candidate either way
+	if f.once != "" {
+		latch, err := os.OpenFile(f.once, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false // another process already fired this fault
+		}
+		latch.Close()
+	}
+	return true
+}
+
+// Hit fires any crash/exit/stall fault armed at point; with nothing
+// armed it is a single atomic load. Torn-mode entries are not fired
+// here — they live in the write path, via Torn.
+func Hit(point string) {
+	if !armed.Load() {
+		load()
+		if !armed.Load() {
+			return
+		}
+	}
+	for _, f := range faults {
+		if f.point != point || f.mode == Torn || !f.due() {
+			continue
+		}
+		switch f.mode {
+		case Crash:
+			fmt.Fprintf(os.Stderr, "faultinject: SIGKILL at %s\n", point)
+			kill()
+		case Exit:
+			fmt.Fprintf(os.Stderr, "faultinject: exit %d at %s\n", f.code, point)
+			os.Exit(f.code)
+		case Stall:
+			fmt.Fprintf(os.Stderr, "faultinject: stalling %dms at %s\n", f.ms, point)
+			time.Sleep(time.Duration(f.ms) * time.Millisecond)
+		}
+	}
+}
+
+// TornWrite consults any torn-mode fault armed at point: when due it
+// returns the first half of data and true, and the caller must complete
+// its write-and-rename with the truncated bytes and then call Kill —
+// leaving exactly the artifact a crash mid-flush would leave. Otherwise
+// data comes back untouched.
+func TornWrite(point string, data []byte) ([]byte, bool) {
+	if !armed.Load() {
+		load()
+		if !armed.Load() {
+			return data, false
+		}
+	}
+	for _, f := range faults {
+		if f.point != point || f.mode != Torn || !f.due() {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "faultinject: tearing write at %s (%d of %d bytes)\n", point, len(data)/2, len(data))
+		return data[:len(data)/2], true
+	}
+	return data, false
+}
+
+// Kill terminates the process with SIGKILL — the torn-write epilogue.
+func Kill() { kill() }
+
+func kill() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; SIGKILL cannot be handled
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecs(t *testing.T) {
+	fs, err := parseSpecs("journal.record:crash:hit=3:once=/tmp/l, atomicio.write:torn ,p:stall:ms=5,q:exit:code=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(fs))
+	}
+	f := fs[0]
+	if f.point != "journal.record" || f.mode != Crash || f.hit != 3 || f.once != "/tmp/l" {
+		t.Errorf("entry 0 parsed as %+v", f)
+	}
+	if fs[1].point != "atomicio.write" || fs[1].mode != Torn || fs[1].hit != 1 {
+		t.Errorf("entry 1 parsed as %+v", fs[1])
+	}
+	if fs[2].ms != 5 {
+		t.Errorf("stall ms = %d, want 5", fs[2].ms)
+	}
+	if fs[3].code != 7 {
+		t.Errorf("exit code = %d, want 7", fs[3].code)
+	}
+}
+
+func TestParseSpecsRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"lonelypoint",
+		"p:unknownmode",
+		"p:crash:hit=0",
+		"p:crash:hit=x",
+		"p:stall:ms=-4",
+		"p:crash:noequals",
+		"p:crash:bogus=1",
+	} {
+		if fs, err := parseSpecs(spec); err == nil {
+			t.Errorf("spec %q accepted as %+v", spec, fs)
+		}
+	}
+}
+
+func TestDueFiresOnNthHitOnly(t *testing.T) {
+	f := &fault{point: "p", mode: Crash, hit: 3}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if f.due() {
+			fired++
+			if i != 2 {
+				t.Errorf("fired on call %d, want call 3", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Errorf("fired %d times, want exactly once", fired)
+	}
+}
+
+func TestOnceLatchDisarmsLosers(t *testing.T) {
+	latch := filepath.Join(t.TempDir(), "latch")
+	a := &fault{point: "p", mode: Crash, hit: 1, once: latch}
+	b := &fault{point: "p", mode: Crash, hit: 1, once: latch}
+	if !a.due() {
+		t.Fatal("first fault did not win its own latch")
+	}
+	if b.due() {
+		t.Error("second fault fired despite an existing latch")
+	}
+	if _, err := os.Stat(latch); err != nil {
+		t.Errorf("latch file missing after firing: %v", err)
+	}
+}
+
+// TestHitInertWithoutSpec pins the production contract: with no
+// DITA_FAULTS in the environment every point is a no-op. The test
+// binary never sets the variable, so this exercises the real fast path.
+func TestHitInertWithoutSpec(t *testing.T) {
+	if os.Getenv(EnvVar) != "" {
+		t.Skipf("%s set in the test environment", EnvVar)
+	}
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		Hit("some.point")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("1000 disarmed hits took %v; the inert path must be ~free", d)
+	}
+	data := []byte("payload")
+	out, tear := TornWrite("some.point", data)
+	if tear || string(out) != "payload" {
+		t.Errorf("disarmed TornWrite returned %q, tear=%v", out, tear)
+	}
+}
+
+// TestArmedProcessBehaviours re-executes the test binary with
+// DITA_FAULTS armed and asserts on the real process outcome: exit code
+// for exit mode, SIGKILL death for crash mode, torn payload for torn
+// mode. This is the end-to-end contract the orchestrator tests lean on.
+func TestArmedProcessBehaviours(t *testing.T) {
+	if os.Getenv("FAULTINJECT_HELPER") != "" {
+		helperMain()
+		return
+	}
+	run := func(spec string) (string, error) {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestArmedProcessBehaviours")
+		cmd.Env = append(os.Environ(), "FAULTINJECT_HELPER=1", EnvVar+"="+spec)
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := run("helper.point:exit:code=7")
+	var exitErr *exec.ExitError
+	if !asExitError(err, &exitErr) || exitErr.ExitCode() != 7 {
+		t.Errorf("exit mode: err = %v (output %q), want exit code 7", err, out)
+	}
+
+	out, err = run("helper.point:crash")
+	if !asExitError(err, &exitErr) || exitErr.ExitCode() != -1 {
+		t.Errorf("crash mode: err = %v (output %q), want signal death", err, out)
+	}
+
+	out, err = run("helper.torn:torn")
+	if err != nil {
+		// The helper SIGKILLs itself after the torn write; death is the contract.
+		if !asExitError(err, &exitErr) || exitErr.ExitCode() != -1 {
+			t.Fatalf("torn mode: err = %v (output %q)", err, out)
+		}
+	}
+	if !strings.Contains(out, "torn=8/16") {
+		t.Errorf("torn mode output %q, want a torn=8/16 marker", out)
+	}
+
+	out, err = run("other.point:crash")
+	if err != nil {
+		t.Errorf("unmatched point: helper died (%v, output %q)", err, out)
+	}
+	if !strings.Contains(out, "helper done") {
+		t.Errorf("unmatched point: output %q, want a clean finish", out)
+	}
+}
+
+// helperMain is the armed subprocess body: it touches the fault points
+// and reports what happened to them.
+func helperMain() {
+	Hit("helper.point")
+	data, tear := TornWrite("helper.torn", []byte("0123456789abcdef"))
+	if tear {
+		fmt.Printf("torn=%d/16\n", len(data))
+		os.Stdout.Sync()
+		Kill()
+	}
+	fmt.Println("helper done")
+	os.Exit(0)
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	return errors.As(err, target)
+}
