@@ -34,7 +34,14 @@ type orchestrateConfig struct {
 	maxRetries int           // relaunches per shard beyond the first attempt
 	retryBase  time.Duration // backoff base; attempt k waits ~base·2^(k-1), capped
 	seed       uint64        // jitter determinism (the workers get it via workerArgs)
-	workerArgs []string      // evaluation flags every worker shares
+	datasets   []string      // dataset names, one framework artifact each
+	// frameworks holds pre-trained artifact paths handed in by the user;
+	// when empty, the orchestrator trains each dataset's framework once
+	// (via trainFramework, into the shard directory) before spawning
+	// workers — N workers, one training.
+	frameworks     []string
+	trainFramework func(name, outPath string) (string, error)
+	workerArgs     []string // evaluation flags every worker shares
 }
 
 // backoffCap bounds the exponential backoff so a long retry budget
@@ -67,6 +74,24 @@ func runOrchestrate(cfg orchestrateConfig) error {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+
+	// One train, many serves: unless the user supplied pre-trained
+	// artifacts, fit each dataset's framework exactly once here and hand
+	// the sealed artifact to every worker — the offline phase is paid
+	// once per dataset instead of once per shard.
+	fwPaths := cfg.frameworks
+	if len(fwPaths) == 0 {
+		for _, name := range cfg.datasets {
+			out := filepath.Join(dir, "framework_"+name+".json")
+			sum, err := cfg.trainFramework(name, out)
+			if err != nil {
+				return fmt.Errorf("training framework for %s: %w", name, err)
+			}
+			fmt.Printf("trained framework for %s -> %s (sha256 %.12s…)\n", name, out, sum)
+			fwPaths = append(fwPaths, out)
+		}
+	}
+	cfg.workerArgs = append(cfg.workerArgs, "-framework", strings.Join(fwPaths, ","))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,21 +27,21 @@ import (
 // mean "the paper's defaults": |Top| = 50 topics, ε = 0.1, o = 1, worker
 // speed 5 km/h.
 type Config struct {
-	LDA      lda.Config
-	Mobility mobility.Config
-	RPO      rrr.Params
+	LDA      lda.Config      `json:"lda"`
+	Mobility mobility.Config `json:"mobility"`
+	RPO      rrr.Params      `json:"rpo"`
 	// SpeedKmH is the shared worker travel speed; default 5.
-	SpeedKmH float64
+	SpeedKmH float64 `json:"speed_kmh"`
 	// TopWillingnessLocations bounds the per-worker location set used in
 	// the dense willingness matrix; 0 keeps all locations. See
 	// influence.Engine.TopLocations.
-	TopWillingnessLocations int
+	TopWillingnessLocations int `json:"top_willingness_locations"`
 	// Parallelism is the umbrella worker-pool bound for the whole
 	// training phase: when set (> 0) it is copied into every sub-config
 	// whose own Parallelism is unset. Each trainer follows the shared
 	// contract (see internal/parallel): the fitted framework is
 	// bit-identical at any setting.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +90,13 @@ type Framework struct {
 	engine  *influence.Engine
 }
 
+// ErrDocumentsExceedGraph reports training data whose Documents slice
+// has more entries than the social graph has users: documents are
+// indexed by user id, so the surplus entries belong to nobody. Train
+// used to drop them silently, fitting the LDA on documents whose topic
+// mixtures could never be read back through theta.
+var ErrDocumentsExceedGraph = errors.New("core: more documents than graph users")
+
 // Train fits every model of the influence-modeling component and returns
 // a ready framework.
 func Train(data TrainingData, cfg Config) (*Framework, error) {
@@ -99,15 +107,15 @@ func Train(data TrainingData, cfg Config) (*Framework, error) {
 	if data.Vocab <= 0 {
 		return nil, fmt.Errorf("core: vocabulary size %d must be positive", data.Vocab)
 	}
+	if len(data.Documents) > data.Graph.N() {
+		return nil, fmt.Errorf("%w: %d documents for a %d-user graph", ErrDocumentsExceedGraph, len(data.Documents), data.Graph.N())
+	}
 	ldaModel, err := lda.Train(data.Documents, data.Vocab, cfg.LDA)
 	if err != nil {
 		return nil, fmt.Errorf("core: training LDA: %w", err)
 	}
 	theta := make([][]float64, data.Graph.N())
 	for u := range data.Documents {
-		if u >= len(theta) {
-			break
-		}
 		if len(data.Documents[u]) > 0 {
 			theta[u] = ldaModel.DocTopics(u)
 		}
@@ -137,6 +145,63 @@ func Train(data TrainingData, cfg Config) (*Framework, error) {
 	f.cfg.RPO.Parallelism = 0
 	return f, nil
 }
+
+// Restore reassembles a framework from already-fitted components,
+// rebuilding the influence engine exactly as Train does. It is the
+// loading half of the framework artifact round trip (see internal/fwio):
+// given the components Train produced, the restored framework's every
+// downstream output is bit-identical to the trained one's. theta must
+// have one row per graph user (nil for users without documents), and
+// each non-nil row must be a topic mixture of the model's topic count.
+func Restore(cfg Config, graph *socialgraph.Graph, ldaModel *lda.Model, theta [][]float64, mob *mobility.Model, ent *entropy.Table, prop *rrr.Collection) (*Framework, error) {
+	cfg = cfg.withDefaults()
+	if graph == nil {
+		return nil, fmt.Errorf("core: restore without a social graph")
+	}
+	if ldaModel == nil || mob == nil || ent == nil || prop == nil {
+		return nil, fmt.Errorf("core: restore with missing components (lda=%t mobility=%t entropy=%t propagation=%t)",
+			ldaModel != nil, mob != nil, ent != nil, prop != nil)
+	}
+	if len(theta) != graph.N() {
+		return nil, fmt.Errorf("core: restore theta has %d rows for a %d-user graph", len(theta), graph.N())
+	}
+	for u, row := range theta {
+		if row != nil && len(row) != ldaModel.Topics() {
+			return nil, fmt.Errorf("core: restore theta row %d has %d topics, model has %d", u, len(row), ldaModel.Topics())
+		}
+	}
+	f := &Framework{
+		cfg:     cfg,
+		graph:   graph,
+		lda:     ldaModel,
+		theta:   theta,
+		mob:     mob,
+		entropy: ent,
+		prop:    prop,
+	}
+	f.engine = &influence.Engine{
+		Prop:         f.prop,
+		Wil:          f.mob,
+		LDA:          f.lda,
+		ThetaUser:    f.theta,
+		TopLocations: cfg.TopWillingnessLocations,
+	}
+	// Same identity rule as Train: parallelism knobs are runtime choices.
+	f.cfg.Parallelism = 0
+	f.cfg.LDA.Parallelism = 0
+	f.cfg.Mobility.Parallelism = 0
+	f.cfg.RPO.Parallelism = 0
+	return f, nil
+}
+
+// Config returns the training configuration (with defaults applied and
+// parallelism knobs zeroed, as stored by Train).
+func (f *Framework) Config() Config { return f.cfg }
+
+// Theta returns the per-user topic mixtures, indexed by user id with nil
+// rows for users without documents. Rows alias model storage and must be
+// treated as read-only.
+func (f *Framework) Theta() [][]float64 { return f.theta }
 
 // Graph returns the social network the framework was trained on.
 func (f *Framework) Graph() *socialgraph.Graph { return f.graph }

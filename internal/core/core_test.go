@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"reflect"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"dita/internal/lda"
 	"dita/internal/model"
 	"dita/internal/paralleltest"
+	"dita/internal/socialgraph"
 )
 
 // testFramework trains a small framework on a generated dataset and
@@ -58,6 +60,25 @@ func testInstance(t *testing.T, data *dataset.Data) *model.Instance {
 func TestTrainValidation(t *testing.T) {
 	if _, err := Train(TrainingData{}, Config{}); err == nil {
 		t.Error("training without a graph accepted")
+	}
+}
+
+// TestTrainRejectsMisalignedDocuments: Documents is indexed by user id,
+// so more documents than graph users is corrupt input. Train used to
+// silently truncate the theta loop; it must now refuse with the named
+// error.
+func TestTrainRejectsMisalignedDocuments(t *testing.T) {
+	g := socialgraph.MustNew(2, []socialgraph.Edge{{From: 0, To: 1}})
+	_, err := Train(TrainingData{
+		Graph:     g,
+		Documents: [][]int32{{0}, {1}, {0, 1}},
+		Vocab:     2,
+	}, Config{LDA: lda.Config{Topics: 2, TrainIters: 2}})
+	if !errors.Is(err, ErrDocumentsExceedGraph) {
+		t.Fatalf("3 documents on a 2-user graph: got err %v, want ErrDocumentsExceedGraph", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "3 documents") || !strings.Contains(err.Error(), "2-user") {
+		t.Errorf("error does not name the mismatch: %v", err)
 	}
 }
 

@@ -10,7 +10,9 @@
 package entropy
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"dita/internal/model"
 )
@@ -79,4 +81,42 @@ func (t *Table) Max() float64 {
 		}
 	}
 	return max
+}
+
+// VenueEntropy is one venue's entry in the table's serialized form.
+type VenueEntropy struct {
+	Venue   model.VenueID `json:"venue"`
+	Entropy float64       `json:"entropy"`
+}
+
+// Wire is the table's serialized form, part of the framework artifact's
+// pinned wire format (see internal/fwio). Venues are listed in
+// ascending id order so the encoding is canonical: byte-identical runs
+// produce byte-identical artifacts.
+type Wire struct {
+	Venues []VenueEntropy `json:"venues"`
+}
+
+// Wire returns the table's serialized form.
+func (t *Table) Wire() Wire {
+	w := Wire{Venues: make([]VenueEntropy, 0, len(t.byVenue))}
+	for v, e := range t.byVenue {
+		w.Venues = append(w.Venues, VenueEntropy{Venue: v, Entropy: e})
+	}
+	sort.Slice(w.Venues, func(i, j int) bool { return w.Venues[i].Venue < w.Venues[j].Venue })
+	return w
+}
+
+// FromWire rebuilds a table from its serialized form. Venue ids must be
+// strictly ascending — the canonical order Wire emits, which also rules
+// out duplicate entries silently overwriting each other.
+func FromWire(w Wire) (*Table, error) {
+	t := &Table{byVenue: make(map[model.VenueID]float64, len(w.Venues))}
+	for i, ve := range w.Venues {
+		if i > 0 && ve.Venue <= w.Venues[i-1].Venue {
+			return nil, fmt.Errorf("entropy: wire venues not strictly ascending at index %d (%d after %d)", i, ve.Venue, w.Venues[i-1].Venue)
+		}
+		t.byVenue[ve.Venue] = ve.Entropy
+	}
+	return t, nil
 }

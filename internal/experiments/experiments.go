@@ -296,11 +296,13 @@ type Runner struct {
 	P    Params
 }
 
-// NewRunner trains a DITA framework on everything before the first
-// evaluation day and returns a runner ready to execute sweeps.
-func NewRunner(data *dataset.Data, cfg core.Config, p Params) (*Runner, error) {
+// TrainingCutoff returns the online/offline split in hours: everything
+// strictly before the earliest evaluation day is training input, and
+// the rest is the evaluation stream. It errors when the parameter set
+// has no evaluation days at all.
+func (p Params) TrainingCutoff() (float64, error) {
 	if len(p.Days) == 0 {
-		return nil, fmt.Errorf("experiments: no evaluation days")
+		return 0, fmt.Errorf("experiments: no evaluation days")
 	}
 	minDay := p.Days[0]
 	for _, d := range p.Days {
@@ -308,7 +310,16 @@ func NewRunner(data *dataset.Data, cfg core.Config, p Params) (*Runner, error) {
 			minDay = d
 		}
 	}
-	cutoff := float64(minDay) * 24
+	return float64(minDay) * 24, nil
+}
+
+// NewRunner trains a DITA framework on everything before the first
+// evaluation day and returns a runner ready to execute sweeps.
+func NewRunner(data *dataset.Data, cfg core.Config, p Params) (*Runner, error) {
+	cutoff, err := p.TrainingCutoff()
+	if err != nil {
+		return nil, err
+	}
 	docs, vocab := data.Documents(cutoff)
 	fw, err := core.Train(core.TrainingData{
 		Graph:     data.Graph,
@@ -319,6 +330,26 @@ func NewRunner(data *dataset.Data, cfg core.Config, p Params) (*Runner, error) {
 	}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
+	}
+	return &Runner{Data: data, FW: fw, P: p}, nil
+}
+
+// NewRunnerFromFramework binds a pre-trained framework (typically
+// loaded from a fwio artifact) to the dataset it was fitted on. The
+// framework must have been trained at this parameter set's cutoff on
+// this dataset for the sweeps to mean anything; the basic shape — one
+// theta row and graph node per dataset user — is validated here, while
+// provenance (same dataset, same cutoff) is the caller's contract,
+// enforced at the harness level via the artifact's recorded source.
+func NewRunnerFromFramework(data *dataset.Data, fw *core.Framework, p Params) (*Runner, error) {
+	if _, err := p.TrainingCutoff(); err != nil {
+		return nil, err
+	}
+	if fw == nil {
+		return nil, fmt.Errorf("experiments: nil framework")
+	}
+	if fw.Graph().N() != data.Graph.N() {
+		return nil, fmt.Errorf("experiments: framework trained on a %d-user graph, dataset has %d users", fw.Graph().N(), data.Graph.N())
 	}
 	return &Runner{Data: data, FW: fw, P: p}, nil
 }

@@ -69,6 +69,32 @@ func TestJournalRejectsForeignRun(t *testing.T) {
 	}
 }
 
+// TestJournalRejectsForeignFramework: the harness binds the framework
+// source — artifact checksums when serving saved frameworks, the
+// trained-from-seed marker otherwise — into the journal signature, so a
+// journal checkpointed under one framework can never splice its jobs
+// into a resume that serves another.
+func TestJournalRejectsForeignFramework(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s0.json.journal")
+	const base = "datasets=bk figures=9 scale=quick days=1 fw="
+	j := openTestJournal(t, path, base+"trained-from-seed")
+	if err := j.Record("BK", 9, 100, 25, []core.Metrics{{Algorithm: "IA", Assigned: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	foreign := base + "9c0ffee90c0ffee90c0ffee90c0ffee90c0ffee90c0ffee90c0ffee90c0ffee9"
+	if _, err := OpenJournal(path, foreign, Shard{}, 42); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Errorf("resume under a foreign framework artifact: err = %v, want a different-run rejection", err)
+	}
+
+	back := openTestJournal(t, path, base+"trained-from-seed")
+	defer back.Close()
+	if back.Resumed() != 1 {
+		t.Errorf("resume under the same framework source replayed %d jobs, want 1", back.Resumed())
+	}
+}
+
 // TestJournalTornTail: a crash mid-append leaves a partial final line;
 // replay must keep every intact record, drop the torn tail, truncate
 // the file, and leave the journal appendable.

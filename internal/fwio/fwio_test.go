@@ -1,0 +1,316 @@
+package fwio
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/experiments"
+	"dita/internal/lda"
+	"dita/internal/rrr"
+)
+
+// testData generates the small shared dataset every test here trains
+// on; cached across tests in the package run.
+var testDataCache *dataset.Data
+
+func testData(t *testing.T) *dataset.Data {
+	t.Helper()
+	if testDataCache != nil {
+		return testDataCache
+	}
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 150
+	p.NumVenues = 180
+	p.Days = 6
+	p.Seed = 23
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDataCache = data
+	return data
+}
+
+const testCutoff = 5 * 24.0
+
+func trainConfig(par int) core.Config {
+	return core.Config{
+		LDA:                     lda.Config{Topics: 8, TrainIters: 15},
+		TopWillingnessLocations: 8,
+		Parallelism:             par,
+	}
+}
+
+func trainAt(t *testing.T, data *dataset.Data, cfg core.Config) *core.Framework {
+	t.Helper()
+	docs, vocab := data.Documents(testCutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(testCutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(testCutoff),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// TestArtifactBitIdenticalAcrossParallelism: training at any worker
+// count must seal into the very same bytes — the artifact is the
+// model's identity, and Parallelism is not part of it.
+func TestArtifactBitIdenticalAcrossParallelism(t *testing.T) {
+	data := testData(t)
+	base, baseSum, err := Encode(trainAt(t, data, trainConfig(1)), "test-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, sum, err := Encode(trainAt(t, data, trainConfig(par)), "test-src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatalf("artifact bytes differ between Parallelism 1 and %d", par)
+		}
+		if sum != baseSum {
+			t.Fatalf("checksum differs between Parallelism 1 and %d: %s vs %s", par, sum, baseSum)
+		}
+	}
+}
+
+// TestRoundTripDeepEqual: decoding an artifact must reproduce the
+// trained framework exactly — every component, the stored config, and
+// the theta aliasing — and the reloaded framework's assignments must be
+// indistinguishable from the trained one's.
+func TestRoundTripDeepEqual(t *testing.T) {
+	data := testData(t)
+	fw := trainAt(t, data, trainConfig(1))
+	raw, sum, err := Encode(fw, "test-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, info, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != "test-src" || info.Checksum != sum {
+		t.Errorf("info %+v, want source test-src checksum %s", info, sum)
+	}
+	if !reflect.DeepEqual(fw, fw2) {
+		t.Fatal("decoded framework is not DeepEqual to the trained one")
+	}
+	// Theta aliasing must be rebuilt, not copied: a loaded framework's
+	// rows live in its own LDA model exactly as after Train.
+	theta := fw2.Theta()
+	for u, row := range theta {
+		if row != nil && &row[0] != &fw2.LDA().DocTopics(u)[0] {
+			t.Fatalf("theta row %d is a copy, not an alias into the LDA model", u)
+		}
+	}
+
+	inst, err := data.Snapshot(dataset.SnapshotParams{
+		Day: 5, NumTasks: 50, NumWorkers: 40, ValidHours: 5, RadiusKm: 25, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range assign.Algorithms {
+		setA, mA := fw.Assign(inst, alg, 7)
+		setB, mB := fw2.Assign(inst, alg, 7)
+		if !reflect.DeepEqual(setA, setB) {
+			t.Fatalf("%v: loaded framework's assignment diverged from the trained one's", alg)
+		}
+		mA.CPU, mB.CPU = 0, 0
+		if mA != mB {
+			t.Fatalf("%v: metrics %+v vs %+v", alg, mA, mB)
+		}
+	}
+}
+
+// TestLoadVersusRetrainSweep is the one-train-many-serve acceptance
+// gate: a sweep served by a loaded artifact must be bit-identical
+// (CPU wall clock aside) to one served by an in-process retrain, at
+// every evaluation parallelism.
+func TestLoadVersusRetrainSweep(t *testing.T) {
+	data := testData(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fw.json")
+	if _, err := Write(path, trainAt(t, data, trainConfig(2)), "test-src"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps := experiments.Sweeps{Tasks: []int{40, 80}}
+	for _, par := range []int{1, 2, 8} {
+		p := experiments.Params{
+			NumTasks: 60, NumWorkers: 50, ValidHours: 5, RadiusKm: 25,
+			Days: []int{5}, Seed: 42, Parallelism: par,
+		}
+		retrained, err := experiments.NewRunner(data, trainConfig(par), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, err := experiments.NewRunnerFromFramework(data, loaded, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := retrained.RunFigureRaw(9, sweeps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := served.RunFigureRaw(9, sweeps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripCPU(want)
+		stripCPU(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: served sweep diverged from retrained sweep", par)
+		}
+	}
+}
+
+func stripCPU(sr *experiments.SweepRaw) {
+	for i := range sr.Jobs {
+		for j := range sr.Jobs[i].Metrics {
+			sr.Jobs[i].Metrics[j].CPU = 0
+		}
+	}
+}
+
+// TestDropForwardIndexRoundTrip: the optional forward index must stay
+// dropped through a round trip, not be resurrected or half-restored.
+func TestDropForwardIndexRoundTrip(t *testing.T) {
+	data := testData(t)
+	cfg := trainConfig(1)
+	cfg.RPO = rrr.Params{DropForwardIndex: true}
+	fw := trainAt(t, data, cfg)
+	if fw.Propagation().HasForwardIndex() {
+		t.Fatal("training with DropForwardIndex kept the index")
+	}
+	raw, _, err := Encode(fw, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, _, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw2.Propagation().HasForwardIndex() {
+		t.Fatal("round trip resurrected the dropped forward index")
+	}
+	if !reflect.DeepEqual(fw, fw2) {
+		t.Fatal("decoded framework is not DeepEqual to the trained one")
+	}
+}
+
+// TestEncodeRejectsBrokenThetaAliasing: the artifact stores only a
+// theta index, so a framework whose theta rows diverged from its LDA
+// model cannot be encoded faithfully and must be refused.
+func TestEncodeRejectsBrokenThetaAliasing(t *testing.T) {
+	data := testData(t)
+	fw := trainAt(t, data, trainConfig(1))
+	theta := make([][]float64, len(fw.Theta()))
+	for u, row := range fw.Theta() {
+		if row == nil {
+			continue
+		}
+		theta[u] = append([]float64(nil), row...)
+	}
+	for u := range theta {
+		if theta[u] != nil {
+			theta[u][0] += 0.25 // diverge one row from the model
+			break
+		}
+	}
+	broken, err := core.Restore(fw.Config(), fw.Graph(), fw.LDA(), theta, fw.Mobility(), fw.Entropy(), fw.Propagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Encode(broken, ""); err == nil || !strings.Contains(err.Error(), "theta row") {
+		t.Fatalf("encoding a framework with diverged theta rows: got err %v", err)
+	}
+}
+
+// corrupt mutates a sealed artifact through its generic JSON form and
+// re-serializes it without resealing, so the seal no longer matches —
+// or the envelope itself is broken.
+func corrupt(t *testing.T, raw []byte, mutate func(m map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoadRejectsCorruptArtifacts: every way an artifact can go bad on
+// disk must be rejected at load — naming the offending path, never
+// partially used.
+func TestLoadRejectsCorruptArtifacts(t *testing.T) {
+	data := testData(t)
+	fw := trainAt(t, data, trainConfig(1))
+	raw, sum, err := Encode(fw, "test-src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one hex digit of the recorded checksum: the smallest possible
+	// corruption that still parses as a sealed artifact.
+	flip := byte('0')
+	if sum[0] == '0' {
+		flip = '1'
+	}
+	flippedSum := string(flip) + sum[1:]
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr string
+	}{
+		{"truncated", raw[:len(raw)/2], "reading framework artifact"},
+		{"bit-flipped", bytes.Replace(raw, []byte(sum), []byte(flippedSum), 1), "checksum mismatch"},
+		{"unsealed", corrupt(t, raw, func(m map[string]any) { delete(m, "checksum") }), "no content checksum"},
+		{"version-skew", corrupt(t, raw, func(m map[string]any) { m["version"] = 2 }), "version 2 not supported"},
+		{"wrong-kind", corrupt(t, raw, func(m map[string]any) { m["kind"] = "dita-shard" }), `kind "dita-shard"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), tc.name+".json")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fw, _, err := Load(path)
+			if err == nil {
+				t.Fatal("corrupt artifact loaded without error")
+			}
+			if fw != nil {
+				t.Error("corrupt artifact returned a non-nil framework")
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error does not name the offending path %s: %v", path, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

@@ -18,7 +18,8 @@ import (
 // arbitrary city-scale frame; the dataset generator and all algorithms
 // agree on this unit so distances come out in kilometres directly.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Dist returns the Euclidean distance between p and q in kilometres.

@@ -36,20 +36,20 @@ import (
 // in the experiments (|Top| = 50 per the paper; symmetric Dirichlet
 // priors α = 50/K, β = 0.01; 200 training sweeps; 50 fold-in sweeps).
 type Config struct {
-	Topics     int     // number of topics |Top|
-	Alpha      float64 // document-topic Dirichlet prior
-	Beta       float64 // topic-word Dirichlet prior
-	TrainIters int     // Gibbs sweeps over the corpus
-	BurnIn     int     // sweeps discarded before averaging φ
-	InferIters int     // fold-in sweeps for unseen documents
-	Seed       uint64
+	Topics     int     `json:"topics"`      // number of topics |Top|
+	Alpha      float64 `json:"alpha"`       // document-topic Dirichlet prior
+	Beta       float64 `json:"beta"`        // topic-word Dirichlet prior
+	TrainIters int     `json:"train_iters"` // Gibbs sweeps over the corpus
+	BurnIn     int     `json:"burn_in"`     // sweeps discarded before averaging φ
+	InferIters int     `json:"infer_iters"` // fold-in sweeps for unseen documents
+	Seed       uint64  `json:"seed"`
 	// Parallelism bounds the Gibbs worker goroutines; <= 0 means
 	// runtime.GOMAXPROCS(0). Any setting yields a bit-identical model:
 	// chunk boundaries depend only on the corpus size and every chunk
 	// draws from a stream keyed by (Seed, sweep, chunk). The knob is a
 	// runtime choice, not part of the model identity, so the trained
 	// Model does not retain it.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -474,4 +474,52 @@ func (m *Model) Perplexity(docs [][]int32, seed uint64) float64 {
 		return 0
 	}
 	return math.Exp(-logSum / float64(words))
+}
+
+// Wire is the trained model's serialized form, part of the framework
+// artifact's pinned wire format (see internal/fwio): the resolved
+// hyperparameters (Infer needs Alpha and InferIters at serve time), the
+// vocabulary size, and the fitted φ and θ matrices. encoding/json
+// round-trips every finite float64 bit-exactly, so a decode is
+// DeepEqual-identical to the trained model.
+type Wire struct {
+	Config Config      `json:"config"`
+	Vocab  int         `json:"vocab"`
+	Phi    [][]float64 `json:"phi"`
+	Theta  [][]float64 `json:"theta"`
+}
+
+// Wire returns the model's serialized form. The matrices alias model
+// storage; callers must treat them as read-only.
+func (m *Model) Wire() Wire {
+	return Wire{Config: m.cfg, Vocab: m.vocab, Phi: m.phi, Theta: m.theta}
+}
+
+// FromWire rebuilds a trained model from its serialized form, validating
+// every dimension so a corrupt or hand-edited artifact cannot produce a
+// model that panics later. The Parallelism knob is forced to zero, as
+// Train does: it is a runtime choice, not model identity.
+func FromWire(w Wire) (*Model, error) {
+	if w.Config.Topics <= 0 {
+		return nil, fmt.Errorf("lda: wire form has %d topics", w.Config.Topics)
+	}
+	if w.Vocab <= 0 {
+		return nil, fmt.Errorf("lda: wire form has vocabulary size %d", w.Vocab)
+	}
+	if len(w.Phi) != w.Config.Topics {
+		return nil, fmt.Errorf("lda: wire form has %d phi rows for %d topics", len(w.Phi), w.Config.Topics)
+	}
+	for t, row := range w.Phi {
+		if len(row) != w.Vocab {
+			return nil, fmt.Errorf("lda: phi row %d has %d entries for vocabulary %d", t, len(row), w.Vocab)
+		}
+	}
+	for d, row := range w.Theta {
+		if len(row) != w.Config.Topics {
+			return nil, fmt.Errorf("lda: theta row %d has %d entries for %d topics", d, len(row), w.Config.Topics)
+		}
+	}
+	cfg := w.Config
+	cfg.Parallelism = 0
+	return &Model{cfg: cfg, vocab: w.Vocab, phi: w.Phi, theta: w.Theta}, nil
 }

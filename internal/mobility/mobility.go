@@ -22,6 +22,7 @@
 package mobility
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
@@ -35,18 +36,18 @@ import (
 // default Pareto shape 2 for degenerate histories, shape clamped to
 // [0.05, 16].
 type Config struct {
-	RestartProb  float64
-	Tolerance    float64
-	MaxIters     int
-	DefaultShape float64
-	MinShape     float64
-	MaxShape     float64
+	RestartProb  float64 `json:"restart_prob"`
+	Tolerance    float64 `json:"tolerance"`
+	MaxIters     int     `json:"max_iters"`
+	DefaultShape float64 `json:"default_shape"`
+	MinShape     float64 `json:"min_shape"`
+	MaxShape     float64 `json:"max_shape"`
 	// Parallelism bounds the fitting worker goroutines; <= 0 means
 	// runtime.GOMAXPROCS(0). Per-worker fits are independent and draw no
 	// randomness, so the fitted model is bit-identical at any setting.
 	// The knob is a runtime choice, not part of the model identity, so
 	// the fitted Model does not retain it.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -286,4 +287,62 @@ func stationaryRWR(n int, seq []int, visits []float64, cfg Config) []float64 {
 		}
 	}
 	return p
+}
+
+// WorkerWire is one worker's fitted HA state in serialized form.
+type WorkerWire struct {
+	ID         model.WorkerID `json:"id"`
+	Locs       []geo.Point    `json:"locs"`
+	Stationary []float64      `json:"stationary"`
+	Shape      float64        `json:"shape"`
+}
+
+// Wire is the fitted model's serialized form, part of the framework
+// artifact's pinned wire format (see internal/fwio). Workers are listed
+// in ascending id order so the encoding is canonical: byte-identical
+// runs produce byte-identical artifacts.
+type Wire struct {
+	Config  Config       `json:"config"`
+	Workers []WorkerWire `json:"workers"`
+}
+
+// Wire returns the model's serialized form. Per-worker slices alias
+// model storage; callers must treat them as read-only.
+func (m *Model) Wire() Wire {
+	ids := make([]model.WorkerID, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	w := Wire{Config: m.cfg, Workers: make([]WorkerWire, len(ids))}
+	for i, id := range ids {
+		wm := m.workers[id]
+		w.Workers[i] = WorkerWire{ID: id, Locs: wm.Locs, Stationary: wm.Stationary, Shape: wm.Shape}
+	}
+	return w
+}
+
+// FromWire rebuilds a fitted model from its serialized form. Worker ids
+// must be strictly ascending (the canonical order Wire emits; it also
+// rules out duplicate entries silently overwriting each other) and each
+// worker's location and stationary vectors must align. The Parallelism
+// knob is forced to zero, as Fit does: it is a runtime choice, not
+// model identity.
+func FromWire(w Wire) (*Model, error) {
+	cfg := w.Config
+	cfg.Parallelism = 0
+	m := &Model{cfg: cfg, workers: make(map[model.WorkerID]*WorkerModel, len(w.Workers))}
+	for i, ww := range w.Workers {
+		if i > 0 && ww.ID <= w.Workers[i-1].ID {
+			return nil, fmt.Errorf("mobility: wire workers not strictly ascending at index %d (%d after %d)", i, ww.ID, w.Workers[i-1].ID)
+		}
+		if len(ww.Locs) == 0 {
+			return nil, fmt.Errorf("mobility: wire worker %d has no locations (Fit never emits empty models)", ww.ID)
+		}
+		if len(ww.Locs) != len(ww.Stationary) {
+			return nil, fmt.Errorf("mobility: wire worker %d has %d locations but %d stationary probabilities", ww.ID, len(ww.Locs), len(ww.Stationary))
+		}
+		m.workers[ww.ID] = &WorkerModel{Locs: ww.Locs, Stationary: ww.Stationary, Shape: ww.Shape}
+	}
+	return m, nil
 }

@@ -13,6 +13,7 @@
 package rrr
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
@@ -26,29 +27,29 @@ import (
 type Params struct {
 	// Epsilon is the approximation parameter ε; the estimate is a
 	// (1−ε)-approximation with high probability. Default 0.1.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 	// O sets the failure probability λ = 1/|W|^o. Default 1.
-	O float64
+	O float64 `json:"o"`
 	// MaxSets caps the total number of RRR sets generated, bounding
 	// memory on large graphs. Default 1 << 18. The Stats record whether
 	// the cap bound the theoretical requirement.
-	MaxSets int
+	MaxSets int `json:"max_sets"`
 	// Seed drives all sampling. Two runs with equal Params over the same
 	// graph produce identical estimates; the result does not depend on
 	// Parallelism.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Parallelism bounds the sampling worker goroutines; <= 0 means
 	// runtime.GOMAXPROCS(0). Any setting yields a bit-identical
 	// collection because every sample chunk draws from a stream derived
 	// from its chunk index, not from the goroutine that runs it.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// DropForwardIndex releases the forward set index (setOff/setMembers)
 	// once the inverted cover index is built, roughly halving the
 	// collection's membership memory. Every propagation query and
 	// TopKSeeds run on the inverted index and are unaffected; only
 	// SetMembers becomes unavailable (it returns nil). Opt in when a
 	// collection is memory-bound and per-set enumeration is not needed.
-	DropForwardIndex bool
+	DropForwardIndex bool `json:"drop_forward_index,omitempty"`
 }
 
 func (p Params) withDefaults() Params {
@@ -72,14 +73,14 @@ const sampleChunk = 64
 // Stats reports how the RPO run unfolded; the benchmark harness prints
 // them and tests assert on them.
 type Stats struct {
-	NumSets      int     // |R| finally used
-	TargetSets   int     // max(N'R(γ), NR(ki)) before capping
-	Ki           float64 // the accepted test value k_i
-	NOptP        float64 // N^opt_p = |W|·f_R(w^θ_s) at acceptance
-	GreedyWorker int32   // the greedy informed worker w^θ_s
-	SigmaLower   float64 // derived lower bound on σ(w^τ_s)
-	Capped       bool    // true when MaxSets bound the requirement
-	Iterations   int     // halving iterations performed
+	NumSets      int     `json:"num_sets"`      // |R| finally used
+	TargetSets   int     `json:"target_sets"`   // max(N'R(γ), NR(ki)) before capping
+	Ki           float64 `json:"ki"`            // the accepted test value k_i
+	NOptP        float64 `json:"n_opt_p"`       // N^opt_p = |W|·f_R(w^θ_s) at acceptance
+	GreedyWorker int32   `json:"greedy_worker"` // the greedy informed worker w^θ_s
+	SigmaLower   float64 `json:"sigma_lower"`   // derived lower bound on σ(w^τ_s)
+	Capped       bool    `json:"capped"`        // true when MaxSets bound the requirement
+	Iterations   int     `json:"iterations"`    // halving iterations performed
 }
 
 // Collection is a materialized family R of RRR sets over a social graph
@@ -558,4 +559,97 @@ func MonteCarloReference(g *socialgraph.Graph, ws int32, sets int, seed uint64) 
 	}
 	out[ws] = 0
 	return out
+}
+
+// Wire is the collection's serialized form, part of the framework
+// artifact's pinned wire format (see internal/fwio): the flat CSR
+// arrays exactly as Build laid them out, minus the graph (the artifact
+// carries the graph once; FromWire reattaches it). A collection built
+// with Params.DropForwardIndex serializes with the forward index absent
+// and round-trips to the same dropped state.
+type Wire struct {
+	Roots      []int32 `json:"roots"`
+	SetOff     []int32 `json:"set_off,omitempty"`
+	SetMembers []int32 `json:"set_members,omitempty"`
+	CoverOff   []int32 `json:"cover_off"`
+	CoverIDs   []int32 `json:"cover_ids"`
+	Stats      Stats   `json:"stats"`
+}
+
+// Wire returns the collection's serialized form. The arrays alias
+// collection storage; callers must treat them as read-only.
+func (c *Collection) Wire() Wire {
+	return Wire{
+		Roots:      c.roots,
+		SetOff:     c.setOff,
+		SetMembers: c.setMembers,
+		CoverOff:   c.coverOff,
+		CoverIDs:   c.coverIDs,
+		Stats:      c.stats,
+	}
+}
+
+// csrValid checks one CSR offset array: starts at zero, monotone
+// nondecreasing, and its final offset indexes exactly the data array.
+func csrValid(off []int32, dataLen int) bool {
+	if len(off) == 0 || off[0] != 0 {
+		return false
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return false
+		}
+	}
+	return int(off[len(off)-1]) == dataLen
+}
+
+// FromWire rebuilds a collection over g from its serialized form,
+// validating every CSR invariant and index range so a corrupt or
+// hand-edited artifact cannot produce a collection that panics (or
+// silently answers wrong) later.
+func FromWire(g *socialgraph.Graph, w Wire) (*Collection, error) {
+	n := g.N()
+	if len(w.CoverOff) != n+1 {
+		return nil, fmt.Errorf("rrr: wire cover index has %d offsets for a %d-worker graph (want %d)", len(w.CoverOff), n, n+1)
+	}
+	if !csrValid(w.CoverOff, len(w.CoverIDs)) {
+		return nil, fmt.Errorf("rrr: wire cover index offsets are not a valid CSR over %d entries", len(w.CoverIDs))
+	}
+	numSets := len(w.Roots)
+	for i, r := range w.Roots {
+		if r < 0 || int(r) >= n {
+			return nil, fmt.Errorf("rrr: wire set %d has root %d outside [0,%d)", i, r, n)
+		}
+	}
+	for i, id := range w.CoverIDs {
+		if id < 0 || int(id) >= numSets {
+			return nil, fmt.Errorf("rrr: wire cover entry %d names set %d outside [0,%d)", i, id, numSets)
+		}
+	}
+	if w.SetOff == nil {
+		if len(w.SetMembers) != 0 {
+			return nil, fmt.Errorf("rrr: wire has %d set members but no set offsets", len(w.SetMembers))
+		}
+	} else {
+		if len(w.SetOff) != numSets+1 {
+			return nil, fmt.Errorf("rrr: wire forward index has %d offsets for %d sets (want %d)", len(w.SetOff), numSets, numSets+1)
+		}
+		if !csrValid(w.SetOff, len(w.SetMembers)) {
+			return nil, fmt.Errorf("rrr: wire forward-index offsets are not a valid CSR over %d members", len(w.SetMembers))
+		}
+		for i, m := range w.SetMembers {
+			if m < 0 || int(m) >= n {
+				return nil, fmt.Errorf("rrr: wire set member %d is worker %d outside [0,%d)", i, m, n)
+			}
+		}
+	}
+	return &Collection{
+		g:          g,
+		roots:      w.Roots,
+		setOff:     w.SetOff,
+		setMembers: w.SetMembers,
+		coverOff:   w.CoverOff,
+		coverIDs:   w.CoverIDs,
+		stats:      w.Stats,
+	}, nil
 }

@@ -13,9 +13,12 @@ import (
 	"dita/internal/randx"
 )
 
-// Edge is a directed edge from From to To: From can inform To.
+// Edge is a directed edge from From to To: From can inform To. The JSON
+// tags are part of the framework artifact's pinned wire format (see
+// internal/fwio).
 type Edge struct {
-	From, To int32
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
 }
 
 // Graph is an immutable directed graph over n nodes stored in CSR form.
@@ -140,6 +143,22 @@ func (g *Graph) Edges() []Edge {
 	}
 	return edges
 }
+
+// Wire is the graph's serialized form: the node count plus the
+// deduplicated, sorted edge list. Rebuilding through New recreates the
+// CSR arrays bit-identically (New sorts and dedups, and Edges emits the
+// already-sorted unique list), so a round trip is DeepEqual-exact.
+type Wire struct {
+	N     int    `json:"n"`
+	Edges []Edge `json:"edges"`
+}
+
+// Wire returns the graph's serialized form.
+func (g *Graph) Wire() Wire { return Wire{N: g.n, Edges: g.Edges()} }
+
+// FromWire rebuilds a graph from its serialized form, validating every
+// edge endpoint against the node count.
+func FromWire(w Wire) (*Graph, error) { return New(w.N, w.Edges) }
 
 // Reverse returns a new graph with every edge direction flipped. The RRR
 // sampler does not need it (it walks In directly), but the reverse graph
