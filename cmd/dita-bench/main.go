@@ -75,8 +75,15 @@
 // same JSON report (merging with an existing -rrrbench file),
 // demonstrating what the session cache skips for carried-over tasks and
 // workers. It also measures pair maintenance alone at production-scale
-// pools (pair_bench): the cold FeasiblePairs rescan vs. the incremental
-// assign.PairIndex over a 100-instant churn at ~12k standing workers.
+// pools (pair_bench): the cold FeasiblePairs rescan vs. the tiled cold
+// scan vs. the incremental assign.PairIndex over a 100-instant churn at
+// ~12k standing workers.
+//
+// -pairbench runs the same pair-maintenance churn as a standalone scale
+// sweep: one point per -pair-scale pool size (50k and 100k by default,
+// up to 1m), each recording the cold, tiled-cold and incremental-index
+// totals plus the tile count, written as the pair_bench_scale array of
+// the same JSON report.
 package main
 
 import (
@@ -127,6 +134,8 @@ func main() {
 		par          = flag.Int("parallel", 0, "worker pool bound for sampling and sweeps (0 = all cores)")
 		rrrBench     = flag.String("rrrbench", "", "write an rrr.Build scaling report to this JSON file and exit")
 		simBench     = flag.String("simbench", "", "record per-instant online-phase latency (cold vs warm session) into this JSON file and exit")
+		pairBench    = flag.String("pairbench", "", "record the pair-maintenance scale sweep (cold vs tiled vs incremental) into this JSON file and exit")
+		pairScale    = flag.String("pair-scale", "50000,100000", "comma-separated steady-state worker-pool sizes for -pairbench")
 		trainOut     = flag.String("train-out", "", "train the framework(s) and write sealed artifacts to these paths (one per -datasets entry), then exit")
 		framework    = flag.String("framework", "", "load pre-trained framework artifacts from these paths (one per -datasets entry) instead of training")
 		shardFlag    = flag.String("shard", "", "run as worker k of an N-way sharded sweep (k/N); requires -shard-out")
@@ -140,9 +149,9 @@ func main() {
 	)
 	flag.Parse()
 
-	if *rrrBench != "" || *simBench != "" {
+	if *rrrBench != "" || *simBench != "" || *pairBench != "" {
 		if *shardFlag != "" || *shardOut != "" || *mergeFlag != "" || *orchestrate != 0 {
-			log.Fatal("-rrrbench/-simbench are standalone modes; they cannot be combined with -shard/-shard-out/-merge/-orchestrate")
+			log.Fatal("-rrrbench/-simbench/-pairbench are standalone modes; they cannot be combined with -shard/-shard-out/-merge/-orchestrate")
 		}
 	}
 	if *trainOut != "" && *framework != "" {
@@ -176,6 +185,16 @@ func main() {
 	if *simBench != "" {
 		if err := writeSimBench(*simBench, *par, *framework, *trainOut); err != nil {
 			log.Fatalf("simbench: %v", err)
+		}
+		return
+	}
+	if *pairBench != "" {
+		scales, err := parseScales(*pairScale)
+		if err != nil {
+			log.Fatalf("pairbench: %v", err)
+		}
+		if err := writePairBench(*pairBench, scales, *par); err != nil {
+			log.Fatalf("pairbench: %v", err)
 		}
 		return
 	}
@@ -461,6 +480,30 @@ func splitList(s string) []string {
 	return out
 }
 
+// parseScales parses the -pair-scale list: positive integers, with an
+// optional k/m suffix (50k, 1m) since the values are pool sizes.
+func parseScales(s string) ([]int, error) {
+	var out []int
+	for _, tok := range splitList(s) {
+		mult := 1
+		switch {
+		case strings.HasSuffix(tok, "k"), strings.HasSuffix(tok, "K"):
+			mult, tok = 1000, tok[:len(tok)-1]
+		case strings.HasSuffix(tok, "m"), strings.HasSuffix(tok, "M"):
+			mult, tok = 1000000, tok[:len(tok)-1]
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -pair-scale entry %q (want a positive pool size, e.g. 50000 or 50k)", tok)
+		}
+		out = append(out, n*mult)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-pair-scale lists no sizes")
+	}
+	return out, nil
+}
+
 // datasetPreset maps a -datasets entry to its generator parameters.
 func datasetPreset(name string) (dataset.Params, error) {
 	switch strings.ToLower(name) {
@@ -712,6 +755,9 @@ type rrrBenchReport struct {
 	// preparation latency with a cold rebuild per instant vs. the warm
 	// incremental session (-simbench).
 	Sim *simBenchReport `json:"sim,omitempty"`
+	// PairBenchScale records the -pairbench scale sweep: the pair
+	// maintenance churn at each -pair-scale steady-state pool size.
+	PairBenchScale []*pairBenchReport `json:"pair_bench_scale,omitempty"`
 }
 
 // simInstantPoint is one assignment instant of the -simbench run: the
@@ -765,36 +811,58 @@ type simBenchReport struct {
 
 // pairBenchReport is the pair-maintenance scaling record: the same
 // synthetic churn measured with the cold per-instant FeasiblePairs
-// rescan and the warm incremental PairIndex. No influence machinery is
-// involved — the two timings isolate exactly the feasible-pair block of
-// an instant.
+// rescan, the cold tiled scan (assign.TiledFeasiblePairs) and the warm
+// incremental PairIndex. No influence machinery is involved — the
+// timings isolate exactly the feasible-pair block of an instant.
 type pairBenchReport struct {
-	Workers            int     `json:"workers"` // steady-state pool sizes
+	// TargetWorkers is the requested steady-state scale of a -pair-scale
+	// sweep point; the default simbench point leaves it zero.
+	TargetWorkers      int     `json:"target_workers,omitempty"`
+	ExtentKm           float64 `json:"extent_km"` // world edge; grows as sqrt(scale) to hold density constant
+	Workers            int     `json:"workers"`   // steady-state pool sizes
 	Tasks              int     `json:"tasks"`
 	Instants           int     `json:"instants"` // measured (post-warmup) instants
 	ArrivalsPerInstant int     `json:"arrivals_per_instant"`
 	LivePairs          int     `json:"live_pairs"` // feasible pairs at the final instant
+	Tiles              int     `json:"tiles"`      // spatial tiles of the final tiled cold scan
 	ColdTotalMs        float64 `json:"cold_total_ms"`
+	TiledColdTotalMs   float64 `json:"tiled_cold_total_ms"`
 	WarmTotalMs        float64 `json:"warm_total_ms"`
-	Speedup            float64 `json:"speedup"`
+	Speedup            float64 `json:"speedup"` // cold / warm
+	// TiledSpeedup = ColdTotalMs / TiledColdTotalMs: what spatial
+	// partitioning alone buys a cold scan (independent of carry-over).
+	TiledSpeedup float64 `json:"tiled_speedup"`
 }
 
-// measurePairBench churns synthetic pools at production scale — tens of
-// thousands of standing entities, a few percent turnover per instant —
-// and times the cold full rescan against the warm incremental index on
-// identical pools (one loop computes both, then retires a matched
-// subset, so every instant's inputs are bit-identical). The two pair
-// lists are compared every instant; a mismatch is a bug, not a
-// measurement.
-func measurePairBench() (*pairBenchReport, error) {
+// measurePairBench is the default simbench point: the production-scale
+// churn at ~12k standing workers the BENCH trajectory has always
+// tracked.
+func measurePairBench(par int) (*pairBenchReport, error) {
+	return measurePairBenchAt(12000, 100, par)
+}
+
+// measurePairBenchAt churns synthetic pools at a chosen scale — tens of
+// thousands to a million standing entities, a few percent turnover per
+// instant — and times the cold full rescan against the cold tiled scan
+// and the warm incremental index on identical pools (one loop computes
+// all three, then retires a matched subset, so every instant's inputs
+// are bit-identical). The world edge grows as sqrt(scale) so spatial
+// density — and with it the per-worker candidate count — stays fixed
+// while the pool size moves. The three pair lists are compared every
+// instant; a mismatch is a bug, not a measurement.
+func measurePairBenchAt(targetWorkers, measured, par int) (*pairBenchReport, error) {
 	const (
-		extentKm = 300
-		radiusKm = 6
-		arrivals = 300 // workers and tasks admitted per instant
-		lifetime = 20.0
-		warmup   = 40
-		measured = 100
+		baseExtent = 300.0 // km at the 12k-worker baseline
+		baseScale  = 12000
+		radiusKm   = 6
+		lifetime   = 20.0
+		warmup     = 40
 	)
+	arrivals := targetWorkers / warmup // workers and tasks admitted per instant
+	if arrivals < 1 {
+		arrivals = 1
+	}
+	extentKm := baseExtent * math.Sqrt(float64(targetWorkers)/baseScale)
 	rng := randx.New(31)
 	var (
 		workers []model.Worker
@@ -802,8 +870,13 @@ func measurePairBench() (*pairBenchReport, error) {
 		nextW   model.WorkerID
 		nextT   model.TaskID
 	)
-	ix := assign.NewPairIndex(5)
-	rep := &pairBenchReport{Instants: measured, ArrivalsPerInstant: arrivals}
+	ix := assign.NewPairIndexParallel(5, par)
+	rep := &pairBenchReport{
+		Instants: measured, ArrivalsPerInstant: arrivals, ExtentKm: extentKm,
+	}
+	if targetWorkers != baseScale {
+		rep.TargetWorkers = targetWorkers
+	}
 	for i := 0; i < warmup+measured; i++ {
 		now := float64(i)
 		for n := 0; n < arrivals; n++ {
@@ -835,6 +908,9 @@ func measurePairBench() (*pairBenchReport, error) {
 		cold := assign.FeasiblePairs(inst, 5)
 		coldMs := float64(time.Since(start).Microseconds()) / 1000
 		start = time.Now()
+		tiled, tiles := assign.TiledFeasiblePairs(inst, 5, par)
+		tiledMs := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
 		warm := ix.Update(inst)
 		warmMs := float64(time.Since(start).Microseconds()) / 1000
 		if len(cold) != len(warm) {
@@ -845,11 +921,16 @@ func measurePairBench() (*pairBenchReport, error) {
 				return nil, fmt.Errorf("pairbench instant %d: pair %d diverged (%+v vs %+v)", i, k, cold[k], warm[k])
 			}
 		}
+		if !slices.Equal(cold, tiled) {
+			return nil, fmt.Errorf("pairbench instant %d: tiled scan diverged from global (%d vs %d pairs)",
+				i, len(tiled), len(cold))
+		}
 		if i >= warmup {
 			rep.ColdTotalMs += coldMs
+			rep.TiledColdTotalMs += tiledMs
 			rep.WarmTotalMs += warmMs
 		}
-		rep.Workers, rep.Tasks, rep.LivePairs = len(workers), len(tasks), len(cold)
+		rep.Workers, rep.Tasks, rep.LivePairs, rep.Tiles = len(workers), len(tasks), len(cold), tiles
 
 		// The warmup phase only accumulates arrivals, building the pools
 		// to production scale; measured instants then retire a matched
@@ -889,7 +970,54 @@ func measurePairBench() (*pairBenchReport, error) {
 	if rep.WarmTotalMs > 0 {
 		rep.Speedup = rep.ColdTotalMs / rep.WarmTotalMs
 	}
+	if rep.TiledColdTotalMs > 0 {
+		rep.TiledSpeedup = rep.ColdTotalMs / rep.TiledColdTotalMs
+	}
 	return rep, nil
+}
+
+// writePairBench runs the pair-maintenance churn at each requested
+// steady-state scale (-pair-scale) and records the points as the
+// pair_bench_scale array of the JSON report, merging with an existing
+// file like the other bench modes. Larger scales run fewer measured
+// instants so a sweep to a million entities stays tractable on one box;
+// the per-instant regime is steady either way.
+func writePairBench(path string, scales []int, par int) error {
+	var points []*pairBenchReport
+	for _, scale := range scales {
+		measured := 100
+		if scale > 200000 {
+			measured = 25
+		}
+		fmt.Printf("pair churn at %d standing workers (%d measured instants)...\n", scale, measured)
+		rep, err := measurePairBenchAt(scale, measured, par)
+		if err != nil {
+			return err
+		}
+		printPairBench(rep)
+		points = append(points, rep)
+	}
+	var report rrrBenchReport
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &report); err != nil {
+			return fmt.Errorf("existing report %s is not mergeable: %w", path, err)
+		}
+	}
+	report.GoVersion = runtime.Version()
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	report.PairBenchScale = points
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func printPairBench(pb *pairBenchReport) {
+	fmt.Printf("pair maintenance at %dW x %dS (%d instants, %d arrivals/instant, %d live pairs, %d tiles):\n",
+		pb.Workers, pb.Tasks, pb.Instants, pb.ArrivalsPerInstant, pb.LivePairs, pb.Tiles)
+	fmt.Printf("  cold full scan %.1fms, tiled cold scan %.1fms (%.2fx), incremental index %.1fms (%.1fx)\n",
+		pb.ColdTotalMs, pb.TiledColdTotalMs, pb.TiledSpeedup, pb.WarmTotalMs, pb.Speedup)
 }
 
 // writeRRRBench measures rrr.Build on a paper-scale graph at
@@ -1141,15 +1269,12 @@ func writeSimBench(path string, par int, fwPath, trainOut string) error {
 	fmt.Printf("feasible-pair totals: cold %.2fms, warm %.2fms (%.1fx on carried-over instants)\n",
 		sim.ColdPairsTotalMs, sim.WarmPairsTotalMs, sim.PairSpeedup)
 
-	pb, err := measurePairBench()
+	pb, err := measurePairBench(par)
 	if err != nil {
 		return err
 	}
 	sim.PairBench = pb
-	fmt.Printf("pair maintenance at %dW x %dS (%d instants, %d arrivals/instant, %d live pairs):\n",
-		pb.Workers, pb.Tasks, pb.Instants, pb.ArrivalsPerInstant, pb.LivePairs)
-	fmt.Printf("  cold full scan %.1fms, incremental index %.1fms (%.1fx)\n",
-		pb.ColdTotalMs, pb.WarmTotalMs, pb.Speedup)
+	printPairBench(pb)
 
 	// Merge into an existing rrrbench report when one is present, so one
 	// JSON file tracks the whole perf trajectory. The environment fields

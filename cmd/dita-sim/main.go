@@ -7,18 +7,23 @@
 //
 //	dita-sim -preset bk -day 25 -tasks 500 -workers 400 -alg IA
 //	dita-sim -data ./data/bk -day 25 -alg EIA -mask IA-AW -v
+//	dita-sim -preset bk -alg MI -pairs tiled -assign-csv /tmp/tiled.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dita/internal/assign"
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/influence"
+	"dita/internal/model"
 )
 
 func main() {
@@ -31,10 +36,12 @@ func main() {
 		workers = flag.Int("workers", 400, "|W| workers in the instance")
 		valid   = flag.Float64("valid", 5, "task valid time ϕ in hours")
 		radius  = flag.Float64("radius", 25, "worker reachable radius r in km")
-		algName = flag.String("alg", "IA", "algorithm: MTA, IA, EIA, DIA or MI")
+		algName = flag.String("alg", "IA", "algorithm: MTA, IA, EIA, DIA, MI or MIX (exact max-influence ablation)")
 		mask    = flag.String("mask", "IA", "influence components: IA (all), IA-WP, IA-AP or IA-AW")
 		seed    = flag.Uint64("seed", 1, "instance sampling seed")
 		par     = flag.Int("parallel", 0, "worker pool bound for the online phase (0 = all cores)")
+		pairs   = flag.String("pairs", "global", "feasibility scan: global (one grid pass) or tiled (spatial partitioning); outputs are bit-identical")
+		csvPath = flag.String("assign-csv", "", "write the assignment as CSV to this path (deterministic; for diffing runs)")
 		verbose = flag.Bool("v", false, "print every assigned pair")
 	)
 	flag.Parse()
@@ -101,7 +108,18 @@ func main() {
 	ev := sess.Prepare(inst)
 	fmt.Printf("influence model (%s) prepared in %.1fs\n", comps, time.Since(start).Seconds())
 
-	set, m := fw.AssignPrepared(inst, ev, alg, nil)
+	var feas []assign.Pair
+	scanTiles := 0
+	switch *pairs {
+	case "global":
+		feas = assign.FeasiblePairs(inst, fw.Speed())
+	case "tiled":
+		feas, scanTiles = assign.TiledFeasiblePairs(inst, fw.Speed(), *par)
+	default:
+		log.Fatalf("unknown -pairs mode %q (want global or tiled)", *pairs)
+	}
+	set, m, ts := fw.AssignPreparedPairsTiled(inst, ev, alg, feas, *par)
+	ts.Tiles = scanTiles
 	if err := set.Validate(len(inst.Tasks), len(inst.Workers)); err != nil {
 		log.Fatalf("invalid assignment: %v", err)
 	}
@@ -110,10 +128,21 @@ func main() {
 		alg, *day, *tasks, *workers, *valid, *radius)
 	fmt.Printf("  assigned tasks       %d\n", m.Assigned)
 	fmt.Printf("  feasible pairs       %d\n", m.Feasible)
+	if ts.Tiles > 0 {
+		fmt.Printf("  spatial tiles        %d\n", ts.Tiles)
+	}
+	fmt.Printf("  graph components     %d (largest %d pairs)\n", ts.Components, ts.LargestComponent)
 	fmt.Printf("  average influence    %.4f\n", m.AI)
 	fmt.Printf("  average propagation  %.4f\n", m.AP)
 	fmt.Printf("  average travel       %.2f km\n", m.TravelKm)
 	fmt.Printf("  assignment CPU       %s\n", m.CPU.Round(time.Millisecond))
+
+	if *csvPath != "" {
+		if err := writeAssignCSV(*csvPath, inst, set); err != nil {
+			log.Fatalf("assign-csv: %v", err)
+		}
+		fmt.Printf("  assignment CSV       %s (%d rows)\n", *csvPath, set.Len())
+	}
 
 	if *verbose {
 		fmt.Println("\nassignments:")
@@ -123,6 +152,22 @@ func main() {
 				set.Influence[i], set.TravelKm[i])
 		}
 	}
+}
+
+// writeAssignCSV dumps the assignment in a fully deterministic text
+// form: floats print as the shortest decimal that parses back exactly,
+// so two runs that are bit-identical produce byte-identical files — the
+// property the tiled-vs-global CI smoke diffs on.
+func writeAssignCSV(path string, inst *model.Instance, set *model.AssignmentSet) error {
+	var b strings.Builder
+	b.WriteString("task,worker,user,influence,travel_km\n")
+	for i, pr := range set.Pairs {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%s\n",
+			pr.Task, pr.Worker, inst.Workers[pr.Worker].User,
+			strconv.FormatFloat(set.Influence[i], 'g', -1, 64),
+			strconv.FormatFloat(set.TravelKm[i], 'g', -1, 64))
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 func parseMask(s string) (influence.Components, error) {

@@ -94,6 +94,12 @@ const (
 	DIA = assign.DIA
 	// MI maximizes only total influence (baseline).
 	MI = assign.MI
+	// MIX is the exact maximum-influence ablation: the assignment of
+	// maximal total influence (maximal cardinality among those), solved by
+	// min-cost flow per feasibility component. It is not part of the
+	// paper's study — it exists to measure how far the greedy MI sits
+	// from the optimum.
+	MIX = assign.MIX
 )
 
 // Components selects which influence factors are active; used by the
@@ -157,6 +163,21 @@ func FeasiblePairs(inst *Instance, speedKmH float64) []assign.Pair {
 	return assign.FeasiblePairs(inst, speedKmH)
 }
 
+// TileStats reports the shape of a tiled solve: spatial tile count of a
+// tiled feasibility scan, and the component structure of the
+// feasibility graph the solver decomposed over.
+type TileStats = assign.TileStats
+
+// TiledFeasiblePairs is FeasiblePairs through spatial partitioning: the
+// world is cut into reachability-sized tiles scanned independently on up
+// to parallelism pool workers (<=0 means all cores). The pair list is
+// bit-identical to FeasiblePairs at any parallelism; the extra return is
+// the tile count. Meant for the 100k–1M-entity regime — at small pools
+// the global scan's constants win.
+func TiledFeasiblePairs(inst *Instance, speedKmH float64, parallelism int) ([]assign.Pair, int) {
+	return assign.TiledFeasiblePairs(inst, speedKmH, parallelism)
+}
+
 // PairIndex carries the feasible-pair set across the instants of a
 // streaming run, paying only for arrivals, retirements and deadline
 // decay; its output is bit-identical to FeasiblePairs on each instant.
@@ -169,6 +190,13 @@ type PairIndex = assign.PairIndex
 // identity preconditions streaming callers must uphold.
 func NewPairIndex(speedKmH float64) *PairIndex {
 	return assign.NewPairIndex(speedKmH)
+}
+
+// NewPairIndexParallel is NewPairIndex with a worker-pool bound for the
+// admission scans of large arrival bursts (<=0 means all cores); the
+// emitted pairs are bit-identical at any setting.
+func NewPairIndexParallel(speedKmH float64, parallelism int) *PairIndex {
+	return assign.NewPairIndexParallel(speedKmH, parallelism)
 }
 
 // Streaming simulation: a platform loop with carry-over state, where a

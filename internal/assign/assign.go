@@ -29,16 +29,27 @@ import (
 // Algorithm selects an assignment strategy.
 type Algorithm int
 
-// The five algorithms of the experimental study.
+// The five algorithms of the experimental study, plus the MIX ablation.
 const (
 	MTA Algorithm = iota
 	IA
 	EIA
 	DIA
 	MI
+	// MIX is not part of the paper's study: it is the exact
+	// maximum-influence assignment — min-cost flow over negated
+	// influences, stopping at the first positive-cost augmenting path —
+	// against which the paper's greedy MI can be ablated. Component
+	// decomposition (see SolveTiled) makes the exact solve tractable at
+	// tile scale. Among all maximum-total-influence matchings it picks
+	// one of maximum cardinality.
+	MIX
 )
 
-// Algorithms lists all algorithms in the order the paper's figures do.
+// Algorithms lists the paper's algorithms in the order its figures do.
+// MIX is deliberately absent: the experiments grid iterates this slice,
+// and the ablation is opt-in per call, not a new column in every
+// figure.
 var Algorithms = []Algorithm{MTA, IA, EIA, DIA, MI}
 
 // String returns the paper's name for the algorithm.
@@ -54,17 +65,23 @@ func (a Algorithm) String() string {
 		return "DIA"
 	case MI:
 		return "MI"
+	case MIX:
+		return "MIX"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
-// ParseAlgorithm maps a name (as printed by String) back to an Algorithm.
+// ParseAlgorithm maps a name (as printed by String) back to an
+// Algorithm, including the MIX ablation that Algorithms omits.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for _, a := range Algorithms {
 		if a.String() == s {
 			return a, nil
 		}
+	}
+	if s == MIX.String() {
+		return MIX, nil
 	}
 	return 0, fmt.Errorf("assign: unknown algorithm %q", s)
 }
@@ -143,12 +160,26 @@ func FeasiblePairs(inst *model.Instance, speedKmH float64) []Pair {
 }
 
 // Solve runs the selected algorithm and returns the assignment set with
-// per-pair influence and travel distance filled in.
+// per-pair influence and travel distance filled in. Since the tiled
+// pipeline landed, Solve is the sequential form of the canonical
+// component-decomposed solver (see solveComponents in tiled.go):
+// SolveTiled at any parallelism returns a bit-identical assignment set.
 func Solve(alg Algorithm, p *Problem) *model.AssignmentSet {
 	pairs := p.Pairs
 	if pairs == nil && !p.HasPairs {
 		pairs = FeasiblePairs(p.Inst, p.speed())
 	}
+	set, _ := solveComponents(alg, p, pairs, 1)
+	return set
+}
+
+// solveMonolithic is the pre-decomposition solver — one flow network
+// (or one greedy pass) over the whole instance. It is retained as the
+// reference implementation the objective-equivalence tests check the
+// decomposed solver against: decomposition must preserve cardinality
+// for every algorithm, total cost for the min-cost family and the exact
+// matching for the greedy.
+func solveMonolithic(alg Algorithm, p *Problem, pairs []Pair) *model.AssignmentSet {
 	switch alg {
 	case MTA:
 		return solveMaxFlow(p, pairs)
@@ -157,14 +188,20 @@ func Solve(alg Algorithm, p *Problem) *model.AssignmentSet {
 	case IA, EIA, DIA:
 		return solveMinCost(alg, p, pairs)
 	default:
-		panic(fmt.Sprintf("assign: unknown algorithm %d", int(alg)))
+		panic(fmt.Sprintf("assign: no monolithic solver for algorithm %d", int(alg)))
 	}
 }
 
 // edgeCost prices a worker→task edge for the three flow-based
 // influence-aware algorithms.
 func edgeCost(alg Algorithm, p *Problem, pr Pair) float64 {
-	inf := p.influence(int(pr.W), int(pr.T))
+	return edgeCostFromInfluence(alg, p, pr, p.influence(int(pr.W), int(pr.T)))
+}
+
+// edgeCostFromInfluence is edgeCost with the influence value already
+// evaluated, so the decomposed solver can price edges from its
+// sequential influence pre-pass; the float expressions are identical.
+func edgeCostFromInfluence(alg Algorithm, p *Problem, pr Pair, inf float64) float64 {
 	switch alg {
 	case IA:
 		return 1 / (inf + 1)
@@ -185,6 +222,8 @@ func edgeCost(alg Algorithm, p *Problem, pr Pair) float64 {
 			f = 1 - ratio
 		}
 		return 1 / (f*inf + 1)
+	case MIX:
+		return -inf
 	default:
 		return 0
 	}

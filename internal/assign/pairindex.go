@@ -5,6 +5,7 @@ import (
 
 	"dita/internal/geo"
 	"dita/internal/model"
+	"dita/internal/parallel"
 )
 
 // PairIndex maintains the feasible-pair set incrementally across the
@@ -91,6 +92,13 @@ type PairIndex struct {
 	lastNow float64
 	started bool
 
+	// par bounds the worker pool arrival admission runs on: > 0 exact,
+	// <= 0 all cores, 1 strictly inline (NewPairIndex's default).
+	// Admission output is bit-identical at any setting — the parallel
+	// phase only scans the standing grids (reads), and candidates merge
+	// into the per-worker pair lists in the sequential admission order.
+	par int
+
 	// Reusable per-Update scratch. Emission resolves task IDs to pool
 	// positions through posBuf, a dense array over the live ID window
 	// [minID, maxID] — task IDs are monotone, so the window stays near
@@ -106,7 +114,26 @@ type PairIndex struct {
 	nextW   []*pairWorker
 	nextT   []*pairTask
 	out     []Pair
+
+	// Parallel-admission scratch: per-pool-worker grid query buffers,
+	// per-chunk candidate arenas and per-fresh-task spans into them (see
+	// admitTasksParallel).
+	parBufs   [][]int32
+	admArenas [][]admCand
+	admSpans  []admSpan
 }
+
+// admCand is one range-and-deadline-feasible candidate found by the
+// parallel task-admission scan, carrying the floats the sequential
+// admission would have computed so the merge just appends them.
+type admCand struct {
+	w     *pairWorker
+	dist  float64
+	slack float64
+}
+
+// admSpan locates one fresh task's candidates inside its chunk's arena.
+type admSpan struct{ chunk, lo, hi int32 }
 
 // pairWorker is the standing state of one live worker: its immutable
 // geometry and its feasible pairs, sorted by task ID (== task pool
@@ -137,13 +164,24 @@ type pairTask struct {
 
 // NewPairIndex returns an empty incremental feasible-pair index for the
 // given travel speed (non-positive defaults to 5 km/h, as everywhere
-// else).
+// else). Admission runs inline; streaming callers with large arrival
+// bursts should use NewPairIndexParallel.
 func NewPairIndex(speedKmH float64) *PairIndex {
+	return NewPairIndexParallel(speedKmH, 1)
+}
+
+// NewPairIndexParallel is NewPairIndex with an admission worker-pool
+// bound: > 0 uses exactly that many workers, <= 0 all cores (the
+// convention every Parallelism knob follows). Instants admitting fewer
+// than parallelAdmitMin fresh entities stay on the inline path either
+// way; emitted pairs are bit-identical at every setting.
+func NewPairIndexParallel(speedKmH float64, parallelism int) *PairIndex {
 	if speedKmH <= 0 {
 		speedKmH = 5
 	}
 	return &PairIndex{
 		speed:   speedKmH,
+		par:     parallelism,
 		workers: make(map[model.WorkerID]*pairWorker),
 		tasks:   make(map[model.TaskID]*pairTask),
 		maxTask: -1,
@@ -284,6 +322,26 @@ func (ix *PairIndex) dropTask(st *pairTask) {
 	ix.taskGrid.Remove(int32(st.id))
 }
 
+// Parallel-admission tuning. Chunks are fixed-size so their boundaries
+// depend only on the fresh count (the determinism contract of
+// internal/parallel); the minimum keeps instants with routine churn on
+// the inline path, where goroutine fan-out would cost more than the
+// handful of grid probes it distributes. parallelAdmitMin is a var so
+// equivalence tests can force the parallel path on small bursts.
+const admitChunk = 64
+
+var parallelAdmitMin = 192
+
+// admitWorkersPool resolves the admission worker count for a burst of
+// fresh entities: 1 (inline) unless the index was built with a parallel
+// bound and the burst is worth fanning out.
+func (ix *PairIndex) admitWorkersPool(fresh int) int {
+	if fresh < parallelAdmitMin {
+		return 1
+	}
+	return parallel.Workers(ix.par)
+}
+
 // admitTasks scans each newly published task against the standing
 // worker grid (new workers are not inserted yet, so new×new pairs are
 // left for admitWorkers) and inserts it into the task grid.
@@ -293,6 +351,10 @@ func (ix *PairIndex) admitTasks(inst *model.Instance, fresh []int32, now float64
 	}
 	if ix.taskGrid == nil {
 		ix.taskGrid = geo.NewMutableGrid(ix.gridCell())
+	}
+	if workers := ix.admitWorkersPool(len(fresh)); workers > 1 && ix.workerGrid != nil {
+		ix.admitTasksParallel(inst, fresh, now, workers)
+		return
 	}
 	for _, j := range fresh {
 		t := inst.Tasks[j]
@@ -313,6 +375,63 @@ func (ix *PairIndex) admitTasks(inst *model.Instance, fresh []int32, now float64
 	}
 }
 
+// admitTasksParallel is admitTasks in two phases. Phase one fans the
+// fresh tasks out in fixed-size chunks: each chunk only reads the
+// standing worker grid and state maps (no admission mutates them until
+// every chunk is done) and records its candidates — with the exact
+// distance/slack floats the inline path computes, worker-grid scan
+// order preserved — in a chunk-indexed arena. Phase two replays the
+// candidates sequentially in fresh-task order, appending to the
+// per-worker pair lists and inserting the tasks into the task grid
+// exactly as the inline loop would have: the same pairs, in the same
+// per-worker order, from the same floats.
+func (ix *PairIndex) admitTasksParallel(inst *model.Instance, fresh []int32, now float64, workers int) {
+	chunks := parallel.NumChunks(len(fresh), admitChunk)
+	for len(ix.admArenas) < chunks {
+		ix.admArenas = append(ix.admArenas, nil)
+	}
+	for len(ix.parBufs) < workers {
+		ix.parBufs = append(ix.parBufs, nil)
+	}
+	if cap(ix.admSpans) < len(fresh) {
+		ix.admSpans = make([]admSpan, len(fresh))
+	}
+	spans := ix.admSpans[:len(fresh)]
+	parallel.ForChunks(workers, len(fresh), admitChunk, func(worker, chunk, lo, hi int) {
+		arena := ix.admArenas[chunk][:0]
+		buf := ix.parBufs[worker]
+		for j := lo; j < hi; j++ {
+			t := inst.Tasks[fresh[j]]
+			cLo := int32(len(arena))
+			buf = ix.workerGrid.Within(t.Loc, ix.maxRadius, buf[:0])
+			for _, wid := range buf {
+				we := ix.workers[model.WorkerID(wid)]
+				if geo.Dist2(we.loc, t.Loc) > we.radius*we.radius {
+					continue
+				}
+				d := geo.Dist(we.loc, t.Loc)
+				slack := d / ix.speed
+				if now+slack > t.Expiry() {
+					continue
+				}
+				arena = append(arena, admCand{w: we, dist: d, slack: slack})
+			}
+			spans[j] = admSpan{chunk: int32(chunk), lo: cLo, hi: int32(len(arena))}
+		}
+		ix.admArenas[chunk] = arena
+		ix.parBufs[worker] = buf
+	})
+	for j, ji := range fresh {
+		t := inst.Tasks[ji]
+		expiry := t.Expiry()
+		sp := spans[j]
+		for _, c := range ix.admArenas[sp.chunk][sp.lo:sp.hi] {
+			c.w.pairs = append(c.w.pairs, pairEntry{task: t.ID, dist: c.dist, slack: c.slack, expiry: expiry})
+		}
+		ix.taskGrid.Insert(int32(t.ID), t.Loc)
+	}
+}
+
 // admitWorkers scans each newly admitted worker against the task grid —
 // which at this point holds standing and new tasks alike — and inserts
 // it into the worker grid.
@@ -322,6 +441,10 @@ func (ix *PairIndex) admitWorkers(inst *model.Instance, fresh []int32, now float
 	}
 	if ix.workerGrid == nil {
 		ix.workerGrid = geo.NewMutableGrid(ix.gridCell())
+	}
+	if workers := ix.admitWorkersPool(len(fresh)); workers > 1 && ix.taskGrid != nil {
+		ix.admitWorkersParallel(inst, fresh, now, workers)
+		return
 	}
 	for _, i := range fresh {
 		w := inst.Workers[i]
@@ -333,6 +456,38 @@ func (ix *PairIndex) admitWorkers(inst *model.Instance, fresh []int32, now float
 				ix.admitPair(we, model.TaskID(tid), w.Loc, te.loc, te.expiry, now)
 			}
 		}
+		ix.workerGrid.Insert(int32(w.ID), w.Loc)
+	}
+}
+
+// admitWorkersParallel fans the fresh workers out in fixed-size chunks.
+// Unlike task admission no merge arena is needed: a fresh worker's
+// candidates land in its own pair list, and distinct fresh workers
+// never share one, so each chunk writes only worker-owned state. The
+// task grid and task map are read-only here (task admission already
+// ran), and the worker-grid inserts are deferred to a sequential pass —
+// they are invisible to this scan either way, exactly as in the inline
+// loop, which probes only the task grid.
+func (ix *PairIndex) admitWorkersParallel(inst *model.Instance, fresh []int32, now float64, workers int) {
+	for len(ix.parBufs) < workers {
+		ix.parBufs = append(ix.parBufs, nil)
+	}
+	parallel.ForChunks(workers, len(fresh), admitChunk, func(worker, _, lo, hi int) {
+		buf := ix.parBufs[worker]
+		for k := lo; k < hi; k++ {
+			i := fresh[k]
+			w := inst.Workers[i]
+			we := ix.liveW[i]
+			buf = ix.taskGrid.Within(w.Loc, w.Radius, buf[:0])
+			for _, tid := range buf {
+				te := ix.tasks[model.TaskID(tid)]
+				ix.admitPair(we, model.TaskID(tid), w.Loc, te.loc, te.expiry, now)
+			}
+		}
+		ix.parBufs[worker] = buf
+	})
+	for _, i := range fresh {
+		w := inst.Workers[i]
 		ix.workerGrid.Insert(int32(w.ID), w.Loc)
 	}
 }

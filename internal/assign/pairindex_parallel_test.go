@@ -1,0 +1,112 @@
+package assign
+
+import (
+	"reflect"
+	"testing"
+
+	"dita/internal/geo"
+	"dita/internal/randx"
+)
+
+// TestParallelAdmissionMatchesSequential is the parallel-admission
+// equivalence gate: across a churny run whose arrival bursts exceed the
+// parallel threshold, an index admitting on 2 or 8 workers must emit
+// bit-identical pairs to the inline index at every instant, and carry
+// identical standing state. The threshold is lowered so even small
+// bursts exercise the chunked path (and its short-final-chunk edge).
+func TestParallelAdmissionMatchesSequential(t *testing.T) {
+	defer func(min int) { parallelAdmitMin = min }(parallelAdmitMin)
+	parallelAdmitMin = 8
+
+	for _, par := range []int{2, 8} {
+		rng := randx.New(99)
+		plat := &churnPlatform{}
+		seq := NewPairIndex(5)
+		pix := NewPairIndexParallel(5, par)
+		const step = 0.25
+		for i := 0; i < 80; i++ {
+			now := float64(i) * step
+			// Bursty arrivals: quiet instants (inline path), medium bursts
+			// (one partial chunk) and large ones (many chunks) alternate.
+			burst := 0
+			switch rng.Intn(3) {
+			case 1:
+				burst = 3 + rng.Intn(8)
+			case 2:
+				burst = 60 + rng.Intn(120)
+			}
+			for n := burst; n > 0; n-- {
+				plat.addWorker(geo.Point{X: rng.Float64() * 80, Y: rng.Float64() * 80},
+					1+rng.Float64()*12)
+			}
+			for n := burst; n > 0; n-- {
+				plat.addTask(geo.Point{X: rng.Float64() * 80, Y: rng.Float64() * 80},
+					now, 0.5+rng.Float64()*3)
+			}
+			plat.expire(now)
+			inst := plat.instance(now)
+
+			want := seq.Update(inst)
+			got := pix.Update(inst)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("par %d instant %d: parallel admission diverged (%d vs %d pairs)",
+					par, i, len(got), len(want))
+			}
+			cold := FeasiblePairs(inst, 5)
+			if !reflect.DeepEqual(got, cold) {
+				t.Fatalf("par %d instant %d: parallel admission diverged from cold scan", par, i)
+			}
+			if pix.CachedPairs() != seq.CachedPairs() ||
+				pix.CachedWorkers() != seq.CachedWorkers() ||
+				pix.CachedTasks() != seq.CachedTasks() {
+				t.Fatalf("par %d instant %d: standing state diverged (%d/%d/%d vs %d/%d/%d)",
+					par, i, pix.CachedWorkers(), pix.CachedTasks(), pix.CachedPairs(),
+					seq.CachedWorkers(), seq.CachedTasks(), seq.CachedPairs())
+			}
+
+			wPos, tPos := map[int]bool{}, map[int]bool{}
+			for _, pr := range want {
+				if rng.Float64() < 0.3 && !wPos[int(pr.W)] && !tPos[int(pr.T)] {
+					wPos[int(pr.W)] = true
+					tPos[int(pr.T)] = true
+				}
+			}
+			plat.retire(wPos, tPos)
+		}
+	}
+}
+
+// TestParallelAdmissionDefaultThreshold drives one burst big enough to
+// cross the untouched production threshold, so the default-configured
+// parallel path is covered too (not only the test-lowered one).
+func TestParallelAdmissionDefaultThreshold(t *testing.T) {
+	rng := randx.New(7)
+	plat := &churnPlatform{}
+	seq := NewPairIndex(5)
+	pix := NewPairIndexParallel(5, 8)
+	n := parallelAdmitMin*2 + 17
+	for i := 0; i < n; i++ {
+		plat.addWorker(geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, 1+rng.Float64()*6)
+		plat.addTask(geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, 0, 1+rng.Float64()*3)
+	}
+	inst := plat.instance(0)
+	want := seq.Update(inst)
+	got := pix.Update(inst)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("default-threshold burst: parallel admission diverged (%d vs %d pairs)",
+			len(got), len(want))
+	}
+	// Second instant: the burst entities are standing now; a second wave
+	// must scan them through the (concurrently read) grids identically.
+	for i := 0; i < n; i++ {
+		plat.addWorker(geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, 1+rng.Float64()*6)
+		plat.addTask(geo.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}, 0.5, 1+rng.Float64()*3)
+	}
+	plat.expire(0.5)
+	inst = plat.instance(0.5)
+	want = seq.Update(inst)
+	got = pix.Update(inst)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("second wave: parallel admission diverged (%d vs %d pairs)", len(got), len(want))
+	}
+}

@@ -264,6 +264,11 @@ func (f *Framework) Prepare(inst *model.Instance, comps influence.Components, se
 type Session struct {
 	fw *Framework
 	is *influence.Session
+	// par is the session's worker-pool bound, shared by the influence
+	// cache, the pair index's admission scans and the component-decomposed
+	// solver; every consumer follows the determinism contract, so outputs
+	// are bit-identical at any setting.
+	par int
 	// px is the incremental feasible-pair index (lazily created by
 	// Pairs): like the influence cache it carries per-entity state across
 	// instants, here the spatial match structure instead of the influence
@@ -276,7 +281,7 @@ type Session struct {
 // fresh per-entity state is computed on (<= 0 means all cores); results
 // are bit-identical at any setting.
 func (f *Framework) PrepareSession(comps influence.Components, seed uint64, parallelism int) *Session {
-	return &Session{fw: f, is: f.engine.NewSession(comps, seed, parallelism)}
+	return &Session{fw: f, is: f.engine.NewSession(comps, seed, parallelism), par: parallelism}
 }
 
 // Prepare returns the evaluator for one instant, reusing cached state
@@ -294,7 +299,7 @@ func (s *Session) Prepare(inst *model.Instance) *influence.Evaluator {
 // provide this. The returned slice is reused by the next call.
 func (s *Session) Pairs(inst *model.Instance) []assign.Pair {
 	if s.px == nil {
-		s.px = assign.NewPairIndex(s.fw.Speed())
+		s.px = assign.NewPairIndexParallel(s.fw.Speed(), s.par)
 	}
 	return s.px.Update(inst)
 }
@@ -307,7 +312,8 @@ func (s *Session) Assign(inst *model.Instance, alg assign.Algorithm, pairs []ass
 	if pairs == nil {
 		pairs = s.Pairs(inst)
 	}
-	return s.fw.AssignPreparedPairs(inst, s.is.Evaluate(inst), alg, pairs)
+	set, m, _ := s.fw.AssignPreparedPairsTiled(inst, s.is.Evaluate(inst), alg, pairs, s.par)
+	return set, m
 }
 
 // Sync maintains the session cache for an instant that runs no
@@ -332,7 +338,8 @@ func (s *Session) PairIndex() *assign.PairIndex { return s.px }
 // AssignPreparedPairs, which takes the set as authoritative even when a
 // zero-feasibility instance made it empty.
 func (f *Framework) AssignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
-	return f.assignPrepared(inst, ev, alg, pairs, pairs != nil)
+	set, m, _ := f.assignPrepared(inst, ev, alg, pairs, pairs != nil, 1)
+	return set, m
 }
 
 // AssignPreparedPairs is AssignPrepared with an authoritative
@@ -340,13 +347,25 @@ func (f *Framework) AssignPrepared(inst *model.Instance, ev *influence.Evaluator
 // caller that computed feasibility once — and found nothing — cannot
 // trigger a silent per-algorithm rescan.
 func (f *Framework) AssignPreparedPairs(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair) (*model.AssignmentSet, Metrics) {
-	return f.assignPrepared(inst, ev, alg, pairs, true)
+	set, m, _ := f.assignPrepared(inst, ev, alg, pairs, true, 1)
+	return set, m
 }
 
-func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair, hasPairs bool) (*model.AssignmentSet, Metrics) {
+// AssignPreparedPairsTiled is AssignPreparedPairs on the tiled pipeline:
+// the solve runs component-decomposed on up to parallelism pool workers
+// (<= 0 means all cores) and the instant's tiling statistics come back
+// alongside the metrics. The assignment set and metrics are bit-identical
+// to AssignPreparedPairs at any parallelism — the sequential path is the
+// same decomposed solver (see assign.Solve).
+func (f *Framework) AssignPreparedPairsTiled(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair, parallelism int) (*model.AssignmentSet, Metrics, assign.TileStats) {
+	return f.assignPrepared(inst, ev, alg, pairs, true, parallelism)
+}
+
+func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair, hasPairs bool, parallelism int) (*model.AssignmentSet, Metrics, assign.TileStats) {
 	start := time.Now()
+	scanTiles := 0
 	if !hasPairs {
-		pairs = assign.FeasiblePairs(inst, f.cfg.SpeedKmH)
+		pairs, scanTiles = assign.TiledFeasiblePairs(inst, f.cfg.SpeedKmH, parallelism)
 	}
 	prob := &assign.Problem{
 		Inst:      inst,
@@ -358,7 +377,8 @@ func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator
 		Pairs:    pairs,
 		HasPairs: true,
 	}
-	set := assign.Solve(alg, prob)
+	set, stats := assign.SolveTiled(alg, prob, parallelism)
+	stats.Tiles = scanTiles
 	cpu := time.Since(start)
 
 	m := Metrics{
@@ -378,7 +398,7 @@ func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator
 		}
 		m.AP = apSum / float64(set.Len())
 	}
-	return set, m
+	return set, m, stats
 }
 
 // Assign is the one-call path: prepare the evaluator with the full

@@ -79,6 +79,14 @@ type Config struct {
 	// testing and benchmarking; the emitted pairs are bit-identical
 	// either way.
 	ColdPairs bool
+	// TiledColdPairs routes the ColdPairs rescan through the tiled
+	// scanner (assign.TiledFeasiblePairs) on Parallelism pool workers
+	// instead of the global grid scan, recording the instant's tile count
+	// in InstantResult.Tiles. Pairs are bit-identical to the global scan;
+	// the knob exists so the tiled pipeline can be driven (and diffed
+	// against the global reference) end to end. Ignored unless ColdPairs
+	// is in effect.
+	TiledColdPairs bool
 }
 
 // InstantResult records one assignment instant.
@@ -100,6 +108,12 @@ type InstantResult struct {
 	// Like Prepare it is excluded from Metrics.CPU.
 	PairMaint time.Duration
 	Metrics   core.Metrics
+	// Tiles reports the instant's tiled-pipeline shape: feasibility-graph
+	// component count and largest component for every busy instant, plus
+	// the spatial tile count when the instant's pairs came from a tiled
+	// cold scan (Config.TiledColdPairs; warm and global-cold instants
+	// leave it zero).
+	Tiles assign.TileStats
 	// Pairs are the instant's matched worker-task pairs, referencing the
 	// instant's snapshot positionally (snapshot order == pool order at
 	// that instant).
@@ -232,16 +246,22 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		prep := time.Since(prepStart)
 		pairStart := time.Now()
 		var pairs []assign.Pair
+		scanTiles := 0
 		if p.cfg.ColdPairs || p.sess == nil {
-			pairs = assign.FeasiblePairs(inst, p.fw.Speed())
+			if p.cfg.TiledColdPairs {
+				pairs, scanTiles = assign.TiledFeasiblePairs(inst, p.fw.Speed(), p.cfg.Parallelism)
+			} else {
+				pairs = assign.FeasiblePairs(inst, p.fw.Speed())
+			}
 		} else {
 			pairs = p.sess.Pairs(inst)
 		}
 		pairMaint := time.Since(pairStart)
-		set, m := p.fw.AssignPreparedPairs(inst, ev, p.cfg.Algorithm, pairs)
+		set, m, ts := p.fw.AssignPreparedPairsTiled(inst, ev, p.cfg.Algorithm, pairs, p.cfg.Parallelism)
+		ts.Tiles = scanTiles
 		res.Instants = append(res.Instants, InstantResult{
 			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
-			Prepare: prep, PairMaint: pairMaint, Metrics: m, Pairs: set.Pairs,
+			Prepare: prep, PairMaint: pairMaint, Metrics: m, Tiles: ts, Pairs: set.Pairs,
 		})
 		res.TotalAssigned += set.Len()
 		p.retire(set)

@@ -457,6 +457,68 @@ func TestIncrementalPairsStreamingEquivalence(t *testing.T) {
 	}
 }
 
+// TestTiledColdPairsStreamingEquivalence is the streaming acceptance
+// gate of the tiled pipeline: a run whose every instant rescans
+// feasibility through the spatial tiling must match the global-scan
+// reference bit for bit — assignments, metrics, completion accounting —
+// at Parallelism 1, 2 and 8, while actually reporting a live tiling
+// (tile counts on busy instants, component stats everywhere).
+func TestTiledColdPairsStreamingEquivalence(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 60, 29)
+	run := func(tiled bool, par int) *Result {
+		p, err := New(fw, Config{
+			Algorithm: assign.DIA, Step: 1, Start: 120, Horizon: 18,
+			Seed: 31, Parallelism: par, ColdPairs: true, TiledColdPairs: tiled,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return normalize(res)
+	}
+	// The tile count is the one legitimate difference between the two
+	// modes: the global scan has no tiling to report.
+	stripTileCount := func(res *Result) *Result {
+		out := *res
+		out.Instants = append([]InstantResult(nil), res.Instants...)
+		for i := range out.Instants {
+			out.Instants[i].Tiles.Tiles = 0
+		}
+		return &out
+	}
+	want := run(false, 1)
+	if want.TotalAssigned == 0 {
+		t.Fatal("equivalence run assigned nothing; streams too sparse to gate anything")
+	}
+	for _, par := range paralleltest.WorkerCounts {
+		got := run(true, par)
+		busy, withTiles := 0, 0
+		for _, in := range got.Instants {
+			if in.Metrics.Algorithm == "" {
+				continue
+			}
+			busy++
+			if in.Tiles.Tiles > 0 {
+				withTiles++
+			}
+			if in.Metrics.Feasible > 0 && in.Tiles.Components <= 0 {
+				t.Fatalf("parallelism %d: busy instant at %v has %d feasible pairs but no component stats",
+					par, in.At, in.Metrics.Feasible)
+			}
+		}
+		if busy == 0 || withTiles != busy {
+			t.Fatalf("parallelism %d: %d of %d busy instants report a tiling", par, withTiles, busy)
+		}
+		if !reflect.DeepEqual(want, stripTileCount(got)) {
+			t.Fatalf("parallelism %d: tiled cold scans diverged from the global reference", par)
+		}
+	}
+}
+
 func TestAllAlgorithmsRunStreaming(t *testing.T) {
 	fw, data := testFramework(t)
 	ws, ts := streams(data, 25, 4)
