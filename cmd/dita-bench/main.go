@@ -565,7 +565,7 @@ func trainArtifact(dp dataset.Params, scale string, daysOverride int, seed uint6
 		return "", err
 	}
 	dp.Parallelism = par
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	data, err := dataset.Generate(dp)
 	if err != nil {
 		return "", fmt.Errorf("generate %s: %w", dp.Name, err)
@@ -579,7 +579,7 @@ func trainArtifact(dp dataset.Params, scale string, daysOverride int, seed uint6
 		return "", err
 	}
 	fmt.Printf("    %s: trained in %.1fs (%d RRR sets, %d mobility models)\n",
-		dp.Name, time.Since(start).Seconds(),
+		dp.Name, time.Since(start).Seconds(), //dita:wallclock
 		runner.FW.Propagation().NumSets(), runner.FW.Mobility().NumWorkers())
 	return sum, nil
 }
@@ -647,16 +647,16 @@ func runDataset(dp dataset.Params, fw *core.Framework, wanted map[int]bool, scal
 
 	fmt.Printf("=== dataset %s: generating (%d users, %d venues, %d days, seed %d)\n",
 		dp.Name, dp.NumUsers, dp.NumVenues, dp.Days, dp.Seed)
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	dp.Parallelism = par
 	data, err := dataset.Generate(dp)
 	if err != nil {
 		log.Fatalf("generate %s: %v", dp.Name, err)
 	}
 	fmt.Printf("    %d check-ins, %d social edges (%.1fs)\n",
-		data.NumCheckIns(), data.Graph.M(), time.Since(start).Seconds())
+		data.NumCheckIns(), data.Graph.M(), time.Since(start).Seconds()) //dita:wallclock
 
-	start = time.Now()
+	start = time.Now() //dita:wallclock
 	var runner *experiments.Runner
 	if fw != nil {
 		runner, err = experiments.NewRunnerFromFramework(data, fw, params)
@@ -671,7 +671,7 @@ func runDataset(dp dataset.Params, fw *core.Framework, wanted map[int]bool, scal
 			log.Fatalf("train %s: %v", dp.Name, err)
 		}
 		fmt.Printf("    DITA framework trained (%.1fs): %d RRR sets, %d mobility models\n\n",
-			time.Since(start).Seconds(),
+			time.Since(start).Seconds(), //dita:wallclock
 			runner.FW.Propagation().NumSets(), runner.FW.Mobility().NumWorkers())
 	}
 
@@ -680,14 +680,14 @@ func runDataset(dp dataset.Params, fw *core.Framework, wanted map[int]bool, scal
 		if !wanted[fig] || !runner.HasFigure(fig) {
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //dita:wallclock
 		if workerMode {
 			raw, err := runner.RunFigureRaw(fig, sweeps)
 			if err != nil {
 				log.Fatalf("figure %d on %s: %v", fig, dp.Name, err)
 			}
 			fmt.Printf("    [figure %d on %s: shard %s ran %d of %d jobs (%d resumed) in %.1fs]\n",
-				fig, dp.Name, shard, len(raw.Jobs), len(raw.Xs)*len(raw.Days), raw.Resumed, time.Since(start).Seconds())
+				fig, dp.Name, shard, len(raw.Jobs), len(raw.Xs)*len(raw.Days), raw.Resumed, time.Since(start).Seconds()) //dita:wallclock
 			out = append(out, raw)
 			continue
 		}
@@ -696,7 +696,7 @@ func runDataset(dp dataset.Params, fw *core.Framework, wanted map[int]bool, scal
 			log.Fatalf("figure %d on %s: %v", fig, dp.Name, err)
 		}
 		printFigure(res, experiments.FigureMetrics(fig))
-		fmt.Printf("    [figure %d on %s finished in %.1fs]\n\n", fig, dp.Name, time.Since(start).Seconds())
+		fmt.Printf("    [figure %d on %s finished in %.1fs]\n\n", fig, dp.Name, time.Since(start).Seconds()) //dita:wallclock
 		if csvDir != "" {
 			if err := writeCSV(csvDir, csvName(fig, dp.Name), res); err != nil {
 				log.Fatalf("csv: %v", err)
@@ -904,15 +904,15 @@ func measurePairBenchAt(targetWorkers, measured, par int) (*pairBenchReport, err
 		tasks = keptT
 
 		inst := &model.Instance{Now: now, Workers: workers, Tasks: tasks}
-		start := time.Now()
+		start := time.Now() //dita:wallclock
 		cold := assign.FeasiblePairs(inst, 5)
-		coldMs := float64(time.Since(start).Microseconds()) / 1000
-		start = time.Now()
+		coldMs := float64(time.Since(start).Microseconds()) / 1000 //dita:wallclock
+		start = time.Now()                                         //dita:wallclock
 		tiled, tiles := assign.TiledFeasiblePairs(inst, 5, par)
-		tiledMs := float64(time.Since(start).Microseconds()) / 1000
-		start = time.Now()
+		tiledMs := float64(time.Since(start).Microseconds()) / 1000 //dita:wallclock
+		start = time.Now()                                          //dita:wallclock
 		warm := ix.Update(inst)
-		warmMs := float64(time.Since(start).Microseconds()) / 1000
+		warmMs := float64(time.Since(start).Microseconds()) / 1000 //dita:wallclock
 		if len(cold) != len(warm) {
 			return nil, fmt.Errorf("pairbench instant %d: cold %d pairs, warm %d", i, len(cold), len(warm))
 		}
@@ -1322,11 +1322,11 @@ func measureTraining(par int, in *trainingInputs) (trainingPoint, *trainingInput
 	minMs := func(f func() error) (float64, error) {
 		best := math.Inf(1)
 		for i := 0; i < reps; i++ {
-			start := time.Now()
+			start := time.Now() //dita:wallclock
 			if err := f(); err != nil {
 				return 0, err
 			}
-			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < best {
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < best { //dita:wallclock
 				best = ms
 			}
 		}
@@ -1339,12 +1339,12 @@ func measureTraining(par int, in *trainingInputs) (trainingPoint, *trainingInput
 	dp.Days = 12
 	dp.Parallelism = par
 
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	data, err := dataset.Generate(dp)
 	if err != nil {
 		return trainingPoint{}, nil, err
 	}
-	datagenMs := float64(time.Since(start).Microseconds()) / 1000
+	datagenMs := float64(time.Since(start).Microseconds()) / 1000 //dita:wallclock
 	if in == nil {
 		cutoff := float64(dp.Days-2) * 24
 		docs, vocab := data.Documents(cutoff)

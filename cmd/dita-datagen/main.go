@@ -70,7 +70,7 @@ func main() {
 	}
 	p.Parallelism = *par
 
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	data, err := dataset.Generate(p)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
@@ -78,7 +78,7 @@ func main() {
 	if err := data.Save(*out); err != nil {
 		log.Fatalf("save: %v", err)
 	}
-	fmt.Printf("dataset %q written to %s in %.1fs\n", p.Name, *out, time.Since(start).Seconds())
+	fmt.Printf("dataset %q written to %s in %.1fs\n", p.Name, *out, time.Since(start).Seconds()) //dita:wallclock
 
 	if *summary {
 		fmt.Printf("  users      %d\n", p.NumUsers)

@@ -1,0 +1,70 @@
+// Command dita-lint runs the repository's determinism/durability
+// static-analysis suite (internal/lint) over the named packages and
+// fails on any violation. CI runs it as a hard gate; locally:
+//
+//	go run ./cmd/dita-lint ./...
+//
+// Each diagnostic names the violated invariant:
+//
+//	maporder     order-sensitive work inside range-over-map
+//	wallclock    time.Now/Since or global math/rand in deterministic
+//	             code (timing sites opt out via //dita:wallclock)
+//	atomicwrite  in-place file writes outside internal/atomicio
+//	poolpurity   writes to captured state in pool chunk closures
+//	floatreduce  scheduling-dependent float reductions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dita/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dita-lint [-only analyzers] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				log.Fatalf("dita-lint: unknown analyzer %q", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		log.Fatalf("dita-lint: %v", err)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, analyzers) {
+			failed = true
+			fmt.Println(d)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -14,12 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"dita/internal/assign"
+	"dita/internal/atomicio"
 	"dita/internal/core"
 	"dita/internal/dataset"
 	"dita/internal/influence"
@@ -71,17 +71,17 @@ func main() {
 		default:
 			log.Fatalf("unknown preset %q", *preset)
 		}
-		start := time.Now()
+		start := time.Now() //dita:wallclock
 		data, err = dataset.Generate(p)
 		if err != nil {
 			log.Fatalf("generate: %v", err)
 		}
 		fmt.Printf("dataset %s generated in %.1fs (%d check-ins)\n",
-			p.Name, time.Since(start).Seconds(), data.NumCheckIns())
+			p.Name, time.Since(start).Seconds(), data.NumCheckIns()) //dita:wallclock
 	}
 
 	cutoff := float64(*day) * 24
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	docs, vocab := data.Documents(cutoff)
 	fw, err := core.Train(core.TrainingData{
 		Graph:     data.Graph,
@@ -93,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("train: %v", err)
 	}
-	fmt.Printf("framework trained in %.1fs\n", time.Since(start).Seconds())
+	fmt.Printf("framework trained in %.1fs\n", time.Since(start).Seconds()) //dita:wallclock
 
 	inst, err := data.Snapshot(dataset.SnapshotParams{
 		Day: *day, NumTasks: *tasks, NumWorkers: *workers,
@@ -103,10 +103,10 @@ func main() {
 		log.Fatalf("snapshot: %v", err)
 	}
 
-	start = time.Now()
+	start = time.Now() //dita:wallclock
 	sess := fw.PrepareSession(comps, *seed, *par)
 	ev := sess.Prepare(inst)
-	fmt.Printf("influence model (%s) prepared in %.1fs\n", comps, time.Since(start).Seconds())
+	fmt.Printf("influence model (%s) prepared in %.1fs\n", comps, time.Since(start).Seconds()) //dita:wallclock
 
 	var feas []assign.Pair
 	scanTiles := 0
@@ -157,7 +157,10 @@ func main() {
 // writeAssignCSV dumps the assignment in a fully deterministic text
 // form: floats print as the shortest decimal that parses back exactly,
 // so two runs that are bit-identical produce byte-identical files — the
-// property the tiled-vs-global CI smoke diffs on.
+// property the tiled-vs-global CI smoke diffs on. The write goes
+// through atomicio like every other artifact write, so a run killed
+// mid-dump can never leave a torn CSV where the smoke's cmp (or any
+// other consumer) would read it.
 func writeAssignCSV(path string, inst *model.Instance, set *model.AssignmentSet) error {
 	var b strings.Builder
 	b.WriteString("task,worker,user,influence,travel_km\n")
@@ -167,7 +170,7 @@ func writeAssignCSV(path string, inst *model.Instance, set *model.AssignmentSet)
 			strconv.FormatFloat(set.Influence[i], 'g', -1, 64),
 			strconv.FormatFloat(set.TravelKm[i], 'g', -1, 64))
 	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	return atomicio.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 func parseMask(s string) (influence.Components, error) {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"dita/internal/atomicio"
+	"dita/internal/faultinject"
+	"dita/internal/model"
+)
+
+// helperInstance is the fixed assignment the fault-injection helper
+// dumps: small enough to write instantly, rich enough that a torn CSV
+// would be visibly shorter than the real one.
+func helperInstance() (*model.Instance, *model.AssignmentSet) {
+	inst := &model.Instance{
+		Workers: []model.Worker{
+			{ID: 0, User: 7},
+			{ID: 1, User: 3},
+			{ID: 2, User: 11},
+		},
+		Tasks: make([]model.Task, 3),
+	}
+	set := &model.AssignmentSet{
+		Pairs:     []model.Assignment{{Task: 0, Worker: 2}, {Task: 1, Worker: 0}, {Task: 2, Worker: 1}},
+		Influence: []float64{0.125, 0.0625, 0.4375},
+		TravelKm:  []float64{1.5, 2.25, 0.75},
+	}
+	return inst, set
+}
+
+const helperWant = "task,worker,user,influence,travel_km\n" +
+	"0,2,11,0.125,1.5\n" +
+	"1,0,7,0.0625,2.25\n" +
+	"2,1,3,0.4375,0.75\n"
+
+// TestAssignCSVSurvivesTornWrite re-executes the test binary with a
+// faultinject crash armed inside the -assign-csv write path and asserts
+// that a run killed mid-dump never leaves a partial CSV at the
+// destination: the target is either absent or still holds its previous
+// content in full, and the only debris is the *.tmp file every artifact
+// loader already skips.
+func TestAssignCSVSurvivesTornWrite(t *testing.T) {
+	if target := os.Getenv("DITA_SIM_HELPER_CSV"); target != "" {
+		inst, set := helperInstance()
+		if err := writeAssignCSV(target, inst, set); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	run := func(spec, target string) error {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestAssignCSVSurvivesTornWrite")
+		cmd.Env = append(os.Environ(), "DITA_SIM_HELPER_CSV="+target)
+		if spec != "" {
+			cmd.Env = append(cmd.Env, faultinject.EnvVar+"="+spec)
+		}
+		_, err := cmd.CombinedOutput()
+		return err
+	}
+
+	t.Run("clean run writes the deterministic CSV", func(t *testing.T) {
+		target := filepath.Join(t.TempDir(), "assign.csv")
+		if err := run("", target); err != nil {
+			t.Fatalf("helper failed without faults armed: %v", err)
+		}
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != helperWant {
+			t.Errorf("assignment CSV:\n%s\nwant:\n%s", got, helperWant)
+		}
+	})
+
+	t.Run("crash mid-dump leaves no file at the destination", func(t *testing.T) {
+		target := filepath.Join(t.TempDir(), "assign.csv")
+		if err := run("atomicio.pre-rename:crash", target); err == nil {
+			t.Fatal("helper survived its armed crash")
+		}
+		if _, err := os.Stat(target); !os.IsNotExist(err) {
+			t.Errorf("partial CSV visible at the destination after a torn write: %v", err)
+		}
+		if _, err := os.Stat(target + atomicio.TempSuffix); err != nil {
+			t.Errorf("expected only *.tmp debris after the crash: %v", err)
+		}
+	})
+
+	t.Run("crash mid-overwrite keeps the old CSV intact", func(t *testing.T) {
+		target := filepath.Join(t.TempDir(), "assign.csv")
+		old := "task,worker,user,influence,travel_km\n9,9,9,1,1\n"
+		if err := os.WriteFile(target, []byte(old), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run("atomicio.pre-rename:crash", target); err == nil {
+			t.Fatal("helper survived its armed crash")
+		}
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != old {
+			t.Errorf("previous CSV corrupted by a torn overwrite:\n%s\nwant:\n%s", got, old)
+		}
+	})
+}

@@ -35,25 +35,25 @@ func main() {
 	params.Days = *days
 	params.Seed = *seed
 
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	data, err := dita.Generate(params)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
 	fmt.Printf("city generated: %d users, %d venues, %d check-ins, %d friendships (%.1fs)\n",
-		*users, *venues, data.NumCheckIns(), data.Graph.M()/2, time.Since(start).Seconds())
+		*users, *venues, data.NumCheckIns(), data.Graph.M()/2, time.Since(start).Seconds()) //dita:wallclock
 
 	firstEval := *days - *evals
 	if firstEval < 1 {
 		log.Fatalf("need at least one training day before evaluation")
 	}
-	start = time.Now()
+	start = time.Now() //dita:wallclock
 	fw, err := dita.Train(dita.TrainingDataFrom(data, float64(firstEval)*24), dita.Config{})
 	if err != nil {
 		log.Fatalf("train: %v", err)
 	}
 	fmt.Printf("DITA framework trained on %d days of history (%.1fs)\n\n",
-		firstEval, time.Since(start).Seconds())
+		firstEval, time.Since(start).Seconds()) //dita:wallclock
 
 	algorithms := []dita.Algorithm{dita.MTA, dita.IA, dita.EIA, dita.DIA, dita.MI}
 	type agg struct {

@@ -34,11 +34,11 @@ func main() {
 	g := socialgraph.GeneratePreferentialAttachment(*n, *m, randx.New(*seed))
 	fmt.Printf("social network: %d workers, %d directed edges\n", g.N(), g.M())
 
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	coll := rrr.Build(g, rrr.Params{Epsilon: *eps, Seed: *seed})
 	st := coll.Stats()
 	fmt.Printf("RPO: %d RRR sets in %.2fs (target %d, k_i=%.0f, σ lower bound %.2f, capped=%v)\n\n",
-		coll.NumSets(), time.Since(start).Seconds(), st.TargetSets, st.Ki, st.SigmaLower, st.Capped)
+		coll.NumSets(), time.Since(start).Seconds(), st.TargetSets, st.Ki, st.SigmaLower, st.Capped) //dita:wallclock
 
 	// Rank workers by informed range σ(ws).
 	type ranked struct {

@@ -23,24 +23,24 @@ func main() {
 	params.NumVenues = 1000
 	params.Days = 14
 
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	data, err := dita.Generate(params)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
 	}
 	fmt.Printf("dataset %q: %d users, %d venues, %d check-ins, %d social edges (%.1fs)\n",
 		params.Name, params.NumUsers, params.NumVenues, data.NumCheckIns(), data.Graph.M(),
-		time.Since(start).Seconds())
+		time.Since(start).Seconds()) //dita:wallclock
 
 	// Train on the first 12 days; evaluate on day 12.
 	const evalDay = 12
-	start = time.Now()
+	start = time.Now() //dita:wallclock
 	fw, err := dita.Train(dita.TrainingDataFrom(data, evalDay*24), dita.Config{})
 	if err != nil {
 		log.Fatalf("train: %v", err)
 	}
 	fmt.Printf("framework trained: %d RRR sets, %d workers with mobility models (%.1fs)\n",
-		fw.Propagation().NumSets(), fw.Mobility().NumWorkers(), time.Since(start).Seconds())
+		fw.Propagation().NumSets(), fw.Mobility().NumWorkers(), time.Since(start).Seconds()) //dita:wallclock
 
 	inst, err := data.Snapshot(dita.SnapshotParams{
 		Day:        evalDay,
@@ -54,9 +54,9 @@ func main() {
 		log.Fatalf("snapshot: %v", err)
 	}
 
-	start = time.Now()
+	start = time.Now() //dita:wallclock
 	set, metrics := fw.Assign(inst, dita.IA, 1)
-	fmt.Printf("influence model + IA assignment in %.1fs\n", time.Since(start).Seconds())
+	fmt.Printf("influence model + IA assignment in %.1fs\n", time.Since(start).Seconds()) //dita:wallclock
 
 	if err := set.Validate(len(inst.Tasks), len(inst.Workers)); err != nil {
 		log.Fatalf("invalid assignment: %v", err)

@@ -362,7 +362,7 @@ func (f *Framework) AssignPreparedPairsTiled(inst *model.Instance, ev *influence
 }
 
 func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator, alg assign.Algorithm, pairs []assign.Pair, hasPairs bool, parallelism int) (*model.AssignmentSet, Metrics, assign.TileStats) {
-	start := time.Now()
+	start := time.Now() //dita:wallclock
 	scanTiles := 0
 	if !hasPairs {
 		pairs, scanTiles = assign.TiledFeasiblePairs(inst, f.cfg.SpeedKmH, parallelism)
@@ -379,7 +379,7 @@ func (f *Framework) assignPrepared(inst *model.Instance, ev *influence.Evaluator
 	}
 	set, stats := assign.SolveTiled(alg, prob, parallelism)
 	stats.Tiles = scanTiles
-	cpu := time.Since(start)
+	cpu := time.Since(start) //dita:wallclock
 
 	m := Metrics{
 		Algorithm:  alg.String(),

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dita/internal/atomicio"
 	"dita/internal/geo"
 	"dita/internal/model"
 	"dita/internal/socialgraph"
@@ -231,22 +233,25 @@ func (d *Data) applyParamRows(rows [][]string) error {
 	return d.Params.Validate()
 }
 
+// writeCSV encodes the rows in memory and lands them atomically (temp +
+// fsync + rename via atomicio): a dita-datagen killed mid-save leaves
+// either the previous dataset file or none, never a truncated CSV the
+// loader would half-parse. The encoding is byte-identical to the old
+// direct-to-file csv.Writer path.
 func writeCSV(path string, rows [][]string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	w := csv.NewWriter(f)
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
 		return fmt.Errorf("dataset: write %s: %w", path, err)
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
 		return fmt.Errorf("dataset: flush %s: %w", path, err)
 	}
-	return f.Close()
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	return nil
 }
 
 func readCSV(path string) ([][]string, error) {

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite enforces the durability half of the repository contract:
+// every artifact write goes through internal/atomicio (write-temp +
+// fsync + rename), so a crashed writer can never leave a half-written
+// file where a reader will find it. The analyzer flags the in-place
+// write primitives — os.WriteFile, os.Create, and io.WriteString onto
+// an *os.File — everywhere except inside internal/atomicio itself
+// (which owns the one sanctioned temp-file write) and test/testdata
+// code, which tears files on purpose.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "os.WriteFile/os.Create/io.WriteString-to-*os.File outside internal/atomicio bypass the atomic artifact-write discipline",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	pkg := pass.Pkg
+	if pkgPathIs(pkg.Path, "internal/atomicio") || pkgPathIs(pkg.Path, "atomicio") {
+		return
+	}
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pkg.Info, call, "os", "WriteFile"):
+				pass.Reportf(call.Pos(), "os.WriteFile is not atomic: a crash mid-write leaves a torn file; use atomicio.WriteFile (temp + fsync + rename)")
+			case isPkgFunc(pkg.Info, call, "os", "Create"):
+				pass.Reportf(call.Pos(), "os.Create opens an in-place overwrite path; route the write through atomicio.WriteFile (temp + fsync + rename)")
+			case isPkgFunc(pkg.Info, call, "io", "WriteString") && len(call.Args) > 0 && isOSFile(pkg.Info.TypeOf(call.Args[0])):
+				pass.Reportf(call.Pos(), "io.WriteString to an *os.File writes in place; route the write through atomicio.WriteFile (temp + fsync + rename)")
+			}
+			return true
+		})
+	}
+}
+
+// isOSFile reports whether t is *os.File.
+func isOSFile(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

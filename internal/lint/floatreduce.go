@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatReduce enforces the reduction-order half of the bit-identical
+// contract: float addition is not associative, so `+=`/`-=` on a float
+// reached from outside a concurrently-scheduled closure produces sums
+// whose bits depend on goroutine interleaving even when every access is
+// perfectly synchronized. Two accumulator shapes are flagged inside
+// goroutine bodies and parallel.For/ForChunks chunk closures:
+//
+//   - accumulation into captured state (bare variable or field path) —
+//     the shared-scalar reduction;
+//   - accumulation into an element indexed by the closure's worker
+//     argument — per-worker scratch that is later reduced, which is
+//     scheduling-dependent because workers claim items dynamically.
+//
+// The sanctioned pattern is per-chunk accumulation into chunk- or
+// item-indexed state followed by a sequential reduce, which both shapes
+// of flagged code can be rewritten into.
+var FloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc:  "float += / -= on captured or worker-indexed state inside goroutine or pool chunk closures (non-associative reduction order)",
+	Run:  runFloatReduce,
+}
+
+func runFloatReduce(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		parents := buildParents(file)
+		forEachPoolClosure(pkg, file, func(callee string, lit *ast.FuncLit) {
+			checkFloatAccum(pass, parents, lit, "parallel."+callee+" chunk", workerParam(pkg, lit))
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				checkFloatAccum(pass, parents, lit, "goroutine", nil)
+			}
+			return true
+		})
+	}
+}
+
+// workerParam returns the object of the closure's first parameter — the
+// pool worker index, the one index that is scheduling-dependent.
+func workerParam(pkg *Package, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[params.List[0].Names[0]]
+}
+
+func checkFloatAccum(pass *Pass, parents parentMap, lit *ast.FuncLit, kind string, worker types.Object) {
+	pkg := pass.Pkg
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok {
+			// Nested pool closures and goroutine bodies form their own
+			// accumulation context and are checked there.
+			if isPoolClosureArg(pkg, parents, inner) {
+				return false
+			}
+			if g, ok := parents[parents[inner]].(*ast.GoStmt); ok && g.Call.Fun == ast.Expr(inner) {
+				return false
+			}
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || (assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if !isFloat(pkg.Info.TypeOf(lhs)) {
+				continue
+			}
+			indexed, workerIndexed := indexShape(pkg, lhs, worker)
+			switch {
+			case !indexed && rootCaptured(pkg, lit, lhs):
+				pass.Reportf(lhs.Pos(), "float accumulation into %s, captured from outside the %s closure, has scheduling-dependent reduction order; accumulate per chunk and reduce sequentially", types.ExprString(lhs), kind)
+			case workerIndexed:
+				pass.Reportf(lhs.Pos(), "per-worker float accumulation into %s is scheduling-dependent (workers claim items dynamically); key scratch by chunk or item index instead", types.ExprString(lhs))
+			}
+		}
+		return true
+	})
+}
+
+// indexShape peels the lvalue and reports whether it passes through any
+// index expression, and whether any such index mentions the worker
+// parameter.
+func indexShape(pkg *Package, e ast.Expr, worker types.Object) (indexed, workerIndexed bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			if worker != nil && mentionsObject(pkg, x.Index, worker) {
+				workerIndexed = true
+			}
+			e = x.X
+		default:
+			return indexed, workerIndexed
+		}
+	}
+}
+
+// mentionsObject reports whether the expression references obj.
+func mentionsObject(pkg *Package, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

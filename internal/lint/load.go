@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates the packages matching the patterns with `go list`,
+// parses and type-checks them (non-test files only — test code is
+// exempt from every invariant anyway) and returns them ready to
+// analyze. Module-internal imports are resolved against the loaded set
+// in dependency order; stdlib imports are type-checked from GOROOT
+// source, so the loader needs nothing beyond the go toolchain and the
+// standard library.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	var listed []*listedPackage
+	byPath := map[string]*listedPackage{}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		listed = append(listed, lp)
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		listed: byPath,
+		loaded: map[string]*Package{},
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loader type-checks listed packages in dependency order, memoized, and
+// falls back to the GOROOT source importer for everything outside the
+// listed set.
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	listed map[string]*listedPackage
+	loaded map[string]*Package
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := ld.listed[path]; ok {
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) check(lp *listedPackage) (*Package, error) {
+	if pkg, ok := ld.loaded[lp.ImportPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", lp.ImportPath)
+		}
+		return pkg, nil
+	}
+	ld.loaded[lp.ImportPath] = nil // cycle marker
+	var files []string
+	for _, f := range lp.GoFiles {
+		files = append(files, filepath.Join(lp.Dir, f))
+	}
+	pkg, err := typeCheck(ld.fset, lp.ImportPath, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.loaded[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// typeCheck parses the files and type-checks them as one package,
+// resolving imports through imp. Comments are kept: the wallclock
+// analyzer reads //dita:wallclock directives and the fixture harness
+// reads // want expectations.
+func typeCheck(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// LoadFixture loads the fixture package at srcRoot/path for the
+// analyzer self-tests. Unlike Load it reads every .go file in the
+// directory — including _test.go-named fixtures, which exist precisely
+// to pin the test-file exemptions — and resolves imports first against
+// sibling fixture packages under srcRoot (so a fixture can import a
+// stub "parallel" package), then against the standard library.
+func LoadFixture(srcRoot, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset:    fset,
+		srcRoot: srcRoot,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*Package{},
+	}
+	return ld.load(path)
+}
+
+type fixtureLoader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	loaded  map[string]*Package
+}
+
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *fixtureLoader) load(path string) (*Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: fixture import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	ld.loaded[path] = nil
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %s: %w", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s has no .go files", path)
+	}
+	pkg, err := typeCheck(ld.fset, path, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.loaded[path] = pkg
+	return pkg, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

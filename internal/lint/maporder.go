@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces the oldest invariant in the repo — the one PR 2's
+// entropy.Compute bug shipped against: Go randomizes map iteration
+// order, so a `for … range m` over a map must not do anything
+// order-sensitive in its body. Three order-sensitive effects are
+// flagged:
+//
+//   - appending to a slice (element order = iteration order), unless
+//     that slice is passed to a sort.* / slices.* call later in the
+//     same function — the sanctioned collect-then-sort pre-pass;
+//   - accumulating floats (+=, -= …): float addition is not
+//     associative, so the sum's bits depend on visit order;
+//   - writing ordered output (fmt.Fprint*/Print*, io.WriteString,
+//     Write* methods): bytes land in iteration order.
+//
+// Writes rooted at the iteration variables themselves are per-entry
+// state and order-insensitive, so they stay exempt.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive work (appends, float accumulation, ordered output) inside range-over-map without a sorted-keys pre-pass",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pkg.Info.TypeOf(rng.X)) {
+				return true
+			}
+			checkMapRange(pass, parents, rng)
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, parents parentMap, rng *ast.RangeStmt) {
+	pkg := pass.Pkg
+	iterVars := rangeVarObjects(pkg, rng)
+	scope := enclosingFunc(parents, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng && isMapType(pkg.Info.TypeOf(inner.X)) {
+			return false // the nested map range is checked on its own
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, parents, rng, scope, iterVars, n)
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pkg.Info.TypeOf(lhs)) && !rootedAt(pkg, lhs, iterVars) {
+						pass.Reportf(n.Pos(), "float accumulation into %s in map iteration order is bit-nondeterministic; iterate sorted keys instead", types.ExprString(lhs))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(pkg.Info.TypeOf(n.X)) && !rootedAt(pkg, n.X, iterVars) {
+				pass.Reportf(n.Pos(), "float accumulation into %s in map iteration order is bit-nondeterministic; iterate sorted keys instead", types.ExprString(n.X))
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(pass *Pass, parents parentMap, rng *ast.RangeStmt, scope *ast.BlockStmt, iterVars map[types.Object]bool, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	if isBuiltinAppend(pkg.Info, call) {
+		if len(call.Args) == 0 || rootedAt(pkg, call.Args[0], iterVars) {
+			return
+		}
+		if sortedAfter(pkg, scope, rng, call.Args[0]) {
+			return
+		}
+		pass.Reportf(call.Pos(), "append to %s in map iteration order without a subsequent sort; do a sorted-keys pre-pass or sort the collected slice", types.ExprString(call.Args[0]))
+		return
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	name := fn.Name()
+	switch {
+	case fn.Pkg().Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		pass.Reportf(call.Pos(), "fmt.%s writes ordered output in map iteration order; iterate sorted keys instead", name)
+	case fn.FullName() == "io.WriteString":
+		pass.Reportf(call.Pos(), "io.WriteString writes ordered output in map iteration order; iterate sorted keys instead")
+	case isWriteMethod(fn):
+		pass.Reportf(call.Pos(), "%s writes ordered output in map iteration order; iterate sorted keys instead", name)
+	}
+}
+
+// rangeVarObjects collects the objects bound by the range's key/value
+// variables.
+func rangeVarObjects(pkg *Package, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// rootedAt reports whether the lvalue/expression, peeled of selectors,
+// derefs and indexes, bottoms out at one of the given objects.
+func rootedAt(pkg *Package, e ast.Expr, objs map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return objs[pkg.Info.Uses[x]] || objs[pkg.Info.Defs[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isWriteMethod reports whether fn is a Write-family method — the shape
+// of ordered-output sinks (strings.Builder, bytes.Buffer, bufio.Writer,
+// csv.Writer, …).
+func isWriteMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteAll":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether, later in the enclosing function, the
+// collected slice is handed to a sort.* or slices.* call — the
+// canonical order-restoring pre-pass (entropy.Wire's collect-then-sort
+// shape).
+func sortedAfter(pkg *Package, scope *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	if scope == nil {
+		return false
+	}
+	want := types.ExprString(target)
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(types.ExprString(arg), want) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprMentions reports whether the rendered expression text contains
+// want as a whole token (so "keys" does not match "keys2").
+func exprMentions(text, want string) bool {
+	for i := 0; ; {
+		j := strings.Index(text[i:], want)
+		if j < 0 {
+			return false
+		}
+		j += i
+		before := j == 0 || !identChar(text[j-1])
+		k := j + len(want)
+		after := k == len(text) || !identChar(text[k])
+		if before && after {
+			return true
+		}
+		i = j + 1
+	}
+}
+
+func identChar(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPurity enforces the chunk-purity contract of internal/parallel:
+// closures handed to parallel.For / parallel.ForChunks run concurrently
+// on a dynamic item-claiming pool, so they may write only to
+// chunk-indexed state (slice elements indexed by the item or chunk
+// argument). A write to a variable captured from the enclosing scope —
+// a bare identifier, a field through a captured struct, or any entry of
+// a captured map — is a data race the -race legs can only catch when a
+// seed happens to interleave it. The analyzer makes the discipline
+// compile-time: index writes into captured slices stay allowed
+// (that is the sanctioned arena pattern), everything else is flagged.
+var PoolPurity = &Analyzer{
+	Name: "poolpurity",
+	Doc:  "writes to captured variables inside closures passed to parallel.For/ForChunks (shared-arena races)",
+	Run:  runPoolPurity,
+}
+
+// forEachPoolClosure invokes fn for every function literal passed
+// directly to parallel.For or parallel.ForChunks in the file.
+func forEachPoolClosure(pkg *Package, file *ast.File, fn func(callee string, lit *ast.FuncLit)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch {
+		case isPkgFunc(pkg.Info, call, "parallel", "For"):
+			name = "For"
+		case isPkgFunc(pkg.Info, call, "parallel", "ForChunks"):
+			name = "ForChunks"
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				fn(name, lit)
+			}
+		}
+		return true
+	})
+}
+
+// isPoolClosureArg reports whether the literal is itself the chunk
+// closure of a nested pool call — those are analyzed on their own, so
+// walks of an enclosing closure skip them to avoid double reports.
+func isPoolClosureArg(pkg *Package, parents parentMap, lit *ast.FuncLit) bool {
+	call, ok := parents[lit].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isPkgFunc(pkg.Info, call, "parallel", "For") || isPkgFunc(pkg.Info, call, "parallel", "ForChunks")
+}
+
+// capturedBy reports whether obj is a variable declared outside the
+// literal — i.e. captured from an enclosing scope (or package level).
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pos() == 0 {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+}
+
+func runPoolPurity(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		parents := buildParents(file)
+		forEachPoolClosure(pkg, file, func(callee string, lit *ast.FuncLit) {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.FuncLit); ok && isPoolClosureArg(pkg, parents, inner) {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkPoolWrite(pass, callee, lit, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkPoolWrite(pass, callee, lit, n.X)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// checkPoolWrite classifies one write target inside a pool closure,
+// peeling selectors and derefs down to the written variable. A write
+// that passes through a slice/array index is chunk-indexed state and
+// allowed; a captured map hit, a captured bare variable or a field of a
+// captured struct is flagged.
+func checkPoolWrite(pass *Pass, callee string, lit *ast.FuncLit, target ast.Expr) {
+	pkg := pass.Pkg
+	e := target
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Defs[x]
+			if obj == nil {
+				obj = pkg.Info.Uses[x]
+			}
+			if capturedBy(lit, obj) {
+				pass.Reportf(target.Pos(), "write to %s, captured from outside the parallel.%s closure, breaks chunk purity (write only to chunk-indexed state)", types.ExprString(target), callee)
+			}
+			return
+		case *ast.SelectorExpr:
+			// A qualified package-level variable (pkg.Var) is shared
+			// state by definition.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+					pass.Reportf(target.Pos(), "write to package-level %s inside a parallel.%s closure breaks chunk purity", types.ExprString(target), callee)
+					return
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if isMapType(pkg.Info.TypeOf(x.X)) {
+				if rootCaptured(pkg, lit, x.X) {
+					pass.Reportf(target.Pos(), "write into captured map %s inside a parallel.%s closure races (maps are not chunk-indexable state)", types.ExprString(x.X), callee)
+				}
+				return
+			}
+			return // slice/array element write: the sanctioned arena pattern
+		default:
+			return
+		}
+	}
+}
+
+// rootCaptured peels e to its root identifier and reports whether that
+// variable is captured from outside the literal.
+func rootCaptured(pkg *Package, lit *ast.FuncLit, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Defs[x]
+			if obj == nil {
+				obj = pkg.Info.Uses[x]
+			}
+			return capturedBy(lit, obj)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

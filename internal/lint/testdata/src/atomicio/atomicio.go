@@ -1,0 +1,33 @@
+// Package atomicio is the fixture stand-in for dita/internal/atomicio:
+// the one package allowed to touch the in-place write primitives,
+// because it is the package that wraps them in temp + fsync + rename.
+package atomicio
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFile is the sanctioned home of the raw write path.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, string(data)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,38 @@
+// Package atomicwrite fixtures: in-place write primitives outside
+// internal/atomicio.
+package atomicwrite
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// directWrite lands bytes in place: a crash mid-write leaves a torn
+// file.
+func directWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile is not atomic"
+}
+
+// createAndStream opens an in-place overwrite path and streams into it.
+func createAndStream(path, s string) error {
+	f, err := os.Create(path) // want "os.Create opens an in-place overwrite path"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.WriteString(f, s) // want "io.WriteString to an .os.File writes in place"
+	return err
+}
+
+// inMemory writes into a builder: no file involved, exempt.
+func inMemory(s string) string {
+	var b strings.Builder
+	_, _ = io.WriteString(&b, s)
+	return b.String()
+}
+
+// readOnly never writes: exempt.
+func readOnly(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,9 @@
+// Test files are exempt: tests write scratch files and deliberately
+// torn fixtures.
+package atomicwrite
+
+import "os"
+
+func writeScratchInTest(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,90 @@
+// Package floatreduce fixtures: scheduling-dependent float reductions
+// inside goroutine and pool chunk closures.
+package floatreduce
+
+import (
+	"parallel"
+	"sync"
+)
+
+// sharedAccum reduces into a captured scalar: even with a mutex the
+// addition order follows goroutine scheduling, and float addition is
+// not associative.
+func sharedAccum(xs []float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	parallel.For(4, len(xs), func(worker, i int) {
+		mu.Lock()
+		total += xs[i] // want "float accumulation into total, captured from outside the parallel.For chunk closure"
+		mu.Unlock()
+	})
+	return total
+}
+
+// perWorkerAccum keys scratch by the worker index: workers claim items
+// dynamically, so which additions meet in which slot depends on
+// scheduling.
+func perWorkerAccum(xs []float64) float64 {
+	sums := make([]float64, 4)
+	parallel.For(4, len(xs), func(worker, i int) {
+		sums[worker] += xs[i] // want "per-worker float accumulation into sums.worker."
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// goAccum is the same shared-scalar bug in a bare goroutine.
+func goAccum(xs []float64) float64 {
+	var wg sync.WaitGroup
+	total := 0.0
+	for i := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total -= xs[i] // want "float accumulation into total, captured from outside the goroutine closure"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// chunkReduce is the sanctioned pattern: accumulate into closure-local
+// or chunk-indexed state, reduce sequentially after the pool returns.
+func chunkReduce(xs []float64) float64 {
+	sums := make([]float64, (len(xs)+63)/64)
+	parallel.ForChunks(4, len(xs), 64, func(worker, chunk, lo, hi int) {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += xs[i]
+		}
+		sums[chunk] = acc
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// itemIndexed accumulates into state keyed by the item index: each slot
+// is owned by exactly one item, so order cannot vary.
+func itemIndexed(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	parallel.For(4, len(xs), func(worker, i int) {
+		out[i] += xs[i]
+	})
+	return out
+}
+
+// intCounter is an integer write: racy (poolpurity's finding), but not
+// a float-reduction-order problem — this analyzer stays silent.
+func intCounter(xs []float64) int {
+	n := 0
+	parallel.For(4, len(xs), func(worker, i int) {
+		n++
+	})
+	return n
+}

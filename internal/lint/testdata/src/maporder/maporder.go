@@ -1,0 +1,128 @@
+// Package maporder fixtures: order-sensitive work under range-over-map.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// collectWithoutSort is the raw bug: element order is map iteration
+// order and nothing restores it.
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys in map iteration order without a subsequent sort"
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned sorted-keys pre-pass.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type entry struct {
+	Key string
+	Val int
+}
+
+type wire struct {
+	Entries []entry
+}
+
+// collectPairsThenSort is the entropy.Wire shape: collect (key, value)
+// pairs through a selector lvalue, canonicalize with sort.Slice after.
+func collectPairsThenSort(m map[string]int) wire {
+	var w wire
+	for k, v := range m {
+		w.Entries = append(w.Entries, entry{Key: k, Val: v})
+	}
+	sort.Slice(w.Entries, func(i, j int) bool { return w.Entries[i].Key < w.Entries[j].Key })
+	return w
+}
+
+// collectPairsNoSort leaves the collected pairs in iteration order.
+func collectPairsNoSort(m map[string]int) wire {
+	var w wire
+	for k, v := range m {
+		w.Entries = append(w.Entries, entry{Key: k, Val: v}) // want "append to w.Entries in map iteration order without a subsequent sort"
+	}
+	return w
+}
+
+// floatAccum is the PR 2 entropy.Compute bug class: float addition is
+// not associative, so the sum's bits depend on visit order.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total in map iteration order"
+	}
+	return total
+}
+
+// intAccum is associative and therefore order-insensitive: exempt.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// orderedOutput writes bytes in iteration order, three sink shapes.
+func orderedOutput(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "fmt.Fprintf writes ordered output in map iteration order"
+		b.WriteString(k)                 // want "WriteString writes ordered output in map iteration order"
+		fmt.Println(v)                   // want "fmt.Println writes ordered output in map iteration order"
+	}
+	return b.String()
+}
+
+type bucket struct {
+	vals  []int
+	total float64
+}
+
+// perEntryState writes only through the iteration variables: each
+// entry's state is touched once per visit, so order cannot matter.
+func perEntryState(m map[string]*bucket) {
+	for _, b := range m {
+		b.vals = append(b.vals, 1)
+		b.total += 0.5
+	}
+}
+
+// orderInsensitive does nothing order-sensitive: copies into another
+// map, deletes, compares.
+func orderInsensitive(m map[string]float64) float64 {
+	out := make(map[string]float64, len(m))
+	max := 0.0
+	for k, v := range m {
+		out[k] = v
+		if v > max {
+			max = v
+		}
+		delete(m, k)
+	}
+	return max
+}
+
+// nested: the inner map range owns its violations; the outer loop is
+// not additionally charged for them.
+func nested(m map[string]map[string]float64) float64 {
+	total := 0.0
+	for _, inner := range m {
+		for _, v := range inner {
+			total += v // want "float accumulation into total in map iteration order"
+		}
+	}
+	return total
+}

@@ -1,0 +1,23 @@
+// Package parallel is a fixture stub with the same call shapes as the
+// real dita/internal/parallel pool: the analyzers resolve pool calls by
+// package-path tail, so fixtures exercise them against this stub
+// without importing the real module.
+package parallel
+
+// For mirrors parallel.For(workers, n, fn(worker, i)).
+func For(workers, n int, fn func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		fn(0, i)
+	}
+}
+
+// ForChunks mirrors parallel.ForChunks(workers, n, size, fn(worker, chunk, lo, hi)).
+func ForChunks(workers, n, size int, fn func(worker, chunk, lo, hi int)) {
+	for c, lo := 0, 0; lo < n; c, lo = c+1, lo+size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(0, c, lo, hi)
+	}
+}

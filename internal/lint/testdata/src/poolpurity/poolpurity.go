@@ -1,0 +1,74 @@
+// Package poolpurity fixtures: writes to captured state inside
+// parallel.For / parallel.ForChunks chunk closures.
+package poolpurity
+
+import (
+	"parallel"
+	"shared"
+)
+
+var hits int
+
+type stats struct {
+	n int
+}
+
+// sharedWrites is the race catalogue: every write reaches state shared
+// across concurrently scheduled closure invocations.
+func sharedWrites(xs []int) int {
+	total := 0
+	var collected []int
+	seen := make(map[int]bool)
+	st := &stats{}
+	parallel.For(4, len(xs), func(worker, i int) {
+		total += xs[i]                   // want "write to total, captured from outside the parallel.For closure"
+		collected = append(collected, i) // want "write to collected, captured from outside the parallel.For closure"
+		seen[xs[i]] = true               // want "write into captured map seen inside a parallel.For closure"
+		st.n = i                         // want "write to st.n, captured from outside the parallel.For closure"
+		hits++                           // want "write to hits, captured from outside the parallel.For closure"
+		shared.Counter++                 // want "write to package-level shared.Counter inside a parallel.For closure"
+	})
+	return total
+}
+
+// derefWrite races through a captured pointer.
+func derefWrite(xs []int, out *int) {
+	parallel.For(4, len(xs), func(worker, i int) {
+		*out = xs[i] // want "write to .out, captured from outside the parallel.For closure"
+	})
+}
+
+// chunkIndexed is the sanctioned arena pattern: every write lands in
+// state indexed by the item or chunk argument, plus closure-local
+// scratch.
+func chunkIndexed(xs []int) []int {
+	res := make([]int, len(xs))
+	sums := make([]int, (len(xs)+63)/64)
+	parallel.ForChunks(4, len(xs), 64, func(worker, chunk, lo, hi int) {
+		acc := 0
+		for i := lo; i < hi; i++ {
+			res[i] = xs[i] * 2
+			acc += xs[i]
+		}
+		sums[chunk] = acc
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	_ = total
+	return res
+}
+
+// nested: the inner pool closure owns its violations; the outer walk
+// does not double-report them.
+func nested(grid [][]int) {
+	rows := make([]int, len(grid))
+	parallel.For(2, len(grid), func(worker, i int) {
+		n := 0
+		parallel.For(2, len(grid[i]), func(w2, j int) {
+			n++ // want "write to n, captured from outside the parallel.For closure"
+		})
+		rows[i] = n
+	})
+}

@@ -1,0 +1,6 @@
+// Package shared is a fixture dependency exposing a package-level
+// variable for qualified-write cases.
+package shared
+
+// Counter is process-global state: any write from a pool closure races.
+var Counter int

@@ -1,0 +1,13 @@
+// Test files are exempt from the wallclock analyzer wholesale:
+// measuring time is what benchmarks and deadline tests do, and even a
+// stale //dita:wallclock directive here stays silent.
+package wallclock
+
+import "time"
+
+func timedInTest() time.Duration {
+	start := time.Now()
+	leaked := start //dita:wallclock
+	_ = leaked
+	return time.Since(start)
+}

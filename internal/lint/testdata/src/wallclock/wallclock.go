@@ -1,0 +1,72 @@
+// Package wallclock fixtures: wall-clock and global-randomness leakage
+// into deterministic code, and //dita:wallclock directive verification.
+package wallclock
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// bareClock reads the wall clock with no directive: flagged.
+func bareClock() time.Duration {
+	start := time.Now() // want "wall-clock time.Now in deterministic code"
+	work()
+	return time.Since(start) // want "wall-clock time.Since in deterministic code"
+}
+
+// annotatedTiming is the sanctioned shape: every wall-clock line
+// carries the directive and the captured instant is duration-only.
+func annotatedTiming() time.Duration {
+	start := time.Now() //dita:wallclock
+	work()
+	return time.Since(start) //dita:wallclock
+}
+
+// rearmedTiming re-arms the same variable from a fresh annotated
+// time.Now — the cmd/dita-bench bench-loop shape.
+func rearmedTiming() (time.Duration, time.Duration) {
+	start := time.Now() //dita:wallclock
+	work()
+	first := time.Since(start) //dita:wallclock
+	start = time.Now()         //dita:wallclock
+	work()
+	return first, time.Since(start) //dita:wallclock
+}
+
+// subTiming consumes the instant through Time.Sub instead of
+// time.Since: still duration-only.
+func subTiming() time.Duration {
+	start := time.Now() //dita:wallclock
+	end := time.Now()   //dita:wallclock
+	return end.Sub(start)
+}
+
+// leakedInstant carries the directive but the captured time escapes
+// into output — not a duration-only use, so the exemption is refused.
+func leakedInstant() {
+	start := time.Now() //dita:wallclock // want "not duration-only"
+	fmt.Println(start)
+}
+
+// staleDirective sits on a line with no wall-clock call: flagged, so an
+// exemption cannot outlive the timing code it excused.
+func staleDirective() int {
+	x := 41 //dita:wallclock // want "stale //dita:wallclock directive"
+	return x + 1
+}
+
+// globalRand draws from the process-wide source: flagged, with no
+// directive escape.
+func globalRand() float64 {
+	n := rand.Intn(10)                 // want "global math/rand.Intn"
+	return rand.Float64() + float64(n) // want "global math/rand.Float64"
+}
+
+// seededRand draws from an explicitly seeded stream: exempt.
+func seededRand() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}
+
+func work() {}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WallClock enforces the no-nondeterministic-inputs half of the
+// bit-identical-output contract: deterministic code may not read the
+// wall clock (time.Now, time.Since) or the process-global math/rand
+// source. Timing measurement is the one sanctioned wall-clock use —
+// per-instant latency, bench points, progress logs — and such sites opt
+// out with a //dita:wallclock directive on the call's line. The
+// directive is itself verified: it must sit on a line with a wall-clock
+// call (a stale directive is diagnosed, so exemptions cannot outlive
+// the code they excused), and a directive on time.Now additionally
+// requires the captured instant to be duration-only — every use of the
+// variable must flow into time.Since or (time.Time).Sub, never into
+// output, artifacts or control flow. Global math/rand has no directive
+// escape: deterministic randomness comes from seeded randx streams.
+// _test.go files are exempt wholesale, directives included.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/time.Since/global math/rand in deterministic code; timing sites opt out via //dita:wallclock verified as duration-only",
+	Run:  runWallClock,
+}
+
+// directivePrefix is the comment form of the timing-site exemption. The
+// standard Go directive shape (no space after //) keeps gofmt from
+// reflowing it.
+const directivePrefix = "dita:wallclock"
+
+type wallclockDirective struct {
+	pos  token.Pos
+	used bool
+}
+
+func runWallClock(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		parents := buildParents(file)
+		directives := map[int]*wallclockDirective{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(text, directivePrefix) {
+					directives[pkg.Fset.Position(c.Slash).Line] = &wallclockDirective{pos: c.Slash}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() != "Now" && fn.Name() != "Since" {
+					return true
+				}
+				d := directives[pkg.Fset.Position(call.Pos()).Line]
+				if d == nil {
+					pass.Reportf(call.Pos(), "wall-clock time.%s in deterministic code; annotate genuine timing sites with //dita:wallclock", fn.Name())
+					return true
+				}
+				d.used = true
+				if fn.Name() == "Now" && !durationOnly(pkg, parents, file, call) {
+					pass.Reportf(call.Pos(), "//dita:wallclock on a time.Now whose result is not duration-only (every use must flow into time.Since or Time.Sub)")
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods on an explicit *rand.Rand carry their own seed
+				}
+				switch fn.Name() {
+				case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					return true // constructors taking an explicit seed/source
+				}
+				pass.Reportf(call.Pos(), "global math/rand.%s draws from process-wide shared state and breaks run-to-run determinism; use a seeded randx stream", fn.Name())
+			}
+			return true
+		})
+		for _, d := range directives {
+			if !d.used {
+				pass.Reportf(d.pos, "stale //dita:wallclock directive: no time.Now/time.Since call on this line")
+			}
+		}
+	}
+}
+
+// durationOnly reports whether the time.Now call's result is consumed
+// exclusively as a duration: it must be assigned to a plain variable
+// whose every other use is an argument (or receiver) of time.Since or
+// (time.Time).Sub, or a re-assignment from another time.Now.
+func durationOnly(pkg *Package, parents parentMap, file *ast.File, call *ast.CallExpr) bool {
+	assign, ok := parents[call].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) || len(assign.Lhs) != 1 {
+		return false
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pkg.Info.Uses[id]
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	good := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || (pkg.Info.Uses[use] != obj && pkg.Info.Defs[use] != obj) {
+			return true
+		}
+		if !durationUse(pkg, parents, use) {
+			good = false
+		}
+		return true
+	})
+	return good
+}
+
+// durationUse classifies one appearance of the captured instant.
+func durationUse(pkg *Package, parents parentMap, use *ast.Ident) bool {
+	for p := parents[use]; p != nil; p = parents[p] {
+		switch ctx := p.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg.Info, ctx)
+			if fn == nil {
+				return false
+			}
+			full := fn.FullName()
+			return full == "time.Since" || full == "(time.Time).Sub"
+		case *ast.AssignStmt:
+			// The defining assignment (or a re-arm from a fresh
+			// time.Now, which is separately verified on its own line).
+			for _, lhs := range ctx.Lhs {
+				if lhs == ast.Expr(use) {
+					nowCall, ok := ast.Unparen(ctx.Rhs[0]).(*ast.CallExpr)
+					return ok && len(ctx.Rhs) == 1 && isPkgFunc(pkg.Info, nowCall, "time", "Now")
+				}
+			}
+			return false
+		case ast.Stmt, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

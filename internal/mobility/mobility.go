@@ -226,16 +226,31 @@ func stationaryRWR(n int, seq []int, visits []float64, cfg Config) []float64 {
 	if n == 1 {
 		return []float64{1}
 	}
-	// Sparse transition counts.
-	trans := make([]map[int]float64, n)
+	// Sparse transition counts, folded into per-state adjacency lists
+	// sorted by destination before the power iteration: the hot loop
+	// never ranges over a map (iteration order is randomized and the
+	// dita-lint maporder invariant forbids accumulating under it), and
+	// the presorted slices are cheaper to walk per iteration anyway.
+	counts := make([]map[int]float64, n)
 	outTotal := make([]float64, n)
 	for i := 0; i+1 < len(seq); i++ {
 		a, b := seq[i], seq[i+1]
-		if trans[a] == nil {
-			trans[a] = make(map[int]float64)
+		if counts[a] == nil {
+			counts[a] = make(map[int]float64)
 		}
-		trans[a][b]++
+		counts[a][b]++
 		outTotal[a]++
+	}
+	type edge struct {
+		to int
+		w  float64
+	}
+	trans := make([][]edge, n)
+	for a, m := range counts {
+		for b, w := range m {
+			trans[a] = append(trans[a], edge{to: b, w: w})
+		}
+		slices.SortFunc(trans[a], func(x, y edge) int { return x.to - y.to })
 	}
 	// Restart vector: empirical visit frequencies.
 	restart := make([]float64, n)
@@ -261,8 +276,8 @@ func stationaryRWR(n int, seq []int, visits []float64, cfg Config) []float64 {
 				dangling += p[a]
 				continue
 			}
-			for b, w := range trans[a] {
-				next[b] += p[a] * w / outTotal[a]
+			for _, e := range trans[a] {
+				next[e.to] += p[a] * e.w / outTotal[a]
 			}
 		}
 		diff := 0.0

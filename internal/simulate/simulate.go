@@ -219,13 +219,13 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 			var prep, pairMaint time.Duration
 			if p.sess != nil {
 				inst := &model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks}
-				prepStart := time.Now()
+				prepStart := time.Now() //dita:wallclock
 				p.sess.Sync(inst)
-				prep = time.Since(prepStart)
+				prep = time.Since(prepStart) //dita:wallclock
 				if !p.cfg.ColdPairs {
-					pairStart := time.Now()
+					pairStart := time.Now() //dita:wallclock
 					p.sess.Pairs(inst)
-					pairMaint = time.Since(pairStart)
+					pairMaint = time.Since(pairStart) //dita:wallclock
 				}
 			}
 			res.Instants = append(res.Instants, InstantResult{
@@ -236,15 +236,15 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		}
 
 		inst := p.instance(now)
-		prepStart := time.Now()
+		prepStart := time.Now() //dita:wallclock
 		var ev *influence.Evaluator
 		if p.cfg.ColdPrepare {
 			ev = p.fw.PrepareSession(p.cfg.Components, p.cfg.Seed, p.cfg.Parallelism).Prepare(inst)
 		} else {
 			ev = p.sess.Prepare(inst)
 		}
-		prep := time.Since(prepStart)
-		pairStart := time.Now()
+		prep := time.Since(prepStart) //dita:wallclock
+		pairStart := time.Now()       //dita:wallclock
 		var pairs []assign.Pair
 		scanTiles := 0
 		if p.cfg.ColdPairs || p.sess == nil {
@@ -256,7 +256,7 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 		} else {
 			pairs = p.sess.Pairs(inst)
 		}
-		pairMaint := time.Since(pairStart)
+		pairMaint := time.Since(pairStart) //dita:wallclock
 		set, m, ts := p.fw.AssignPreparedPairsTiled(inst, ev, p.cfg.Algorithm, pairs, p.cfg.Parallelism)
 		ts.Tiles = scanTiles
 		res.Instants = append(res.Instants, InstantResult{
