@@ -182,7 +182,7 @@ func superviseShard(ctx context.Context, self, dir string, k int, cfg orchestrat
 		delay := backoffDelay(cfg.retryBase, attempt, cfg.seed, uint64(k))
 		log.Printf("[shard %s] attempt %d failed (%s); retrying in %s", shard, attempt, res.reason, delay)
 		select {
-		case <-time.After(delay):
+		case <-time.After(delay): //dita:wallclock
 		case <-ctx.Done():
 			return nil
 		}

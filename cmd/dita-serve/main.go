@@ -1,0 +1,178 @@
+// Command dita-serve is the production front-end of the streaming
+// engine: a long-lived HTTP/JSON service that loads a sealed framework
+// artifact (fwio), holds one assignment engine per region, ingests
+// worker/task arrivals and departures on endpoints, fires assignment
+// instants on its configured trigger, and exposes per-region metrics.
+// On SIGINT/SIGTERM it drains: in-flight instants complete, ticker
+// loops stop, and — when -assign-csv is set — the streaming assignment
+// CSV is atomically persisted, byte-identical to a dita-sim -stream
+// replay of the same event sequence.
+//
+// Endpoints (region defaults to "default"):
+//
+//	POST   /v1/{region}/workers       {"user","x","y","radius","at"}    -> {"worker_id"}
+//	DELETE /v1/{region}/workers/{id}                                    -> 404 if not pooled
+//	POST   /v1/{region}/tasks         {"x","y","publish","valid",...}   -> {"task_id"}
+//	DELETE /v1/{region}/tasks/{id}                                      -> 404 if not pooled
+//	POST   /v1/{region}/instant       {"at"}                            -> instant result
+//	GET    /v1/{region}/metrics                                         -> totals + latency
+//	GET    /healthz
+//
+// Triggers: -trigger manual fires only on explicit /instant requests
+// (the deterministic replay mode the CI smoke uses); -trigger batch
+// fires inline as soon as -batch events accumulate; -trigger tick fires
+// every -tick of wall time at the scaled simulation clock
+// (-sim-start + elapsed × -time-scale).
+//
+// Usage:
+//
+//	dita-serve -framework fw.json -addr :8080 -trigger tick -tick 2s
+//	dita-serve -framework fw.json -trigger manual -assign-csv out.csv
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dita/internal/assign"
+	"dita/internal/engine"
+	"dita/internal/fwio"
+	"dita/internal/influence"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		fwPath     = flag.String("framework", "", "sealed framework artifact to serve (required; see dita-bench -train-out)")
+		regions    = flag.String("regions", "default", "comma-separated region names, one engine each")
+		algName    = flag.String("alg", "IA", "algorithm: MTA, IA, EIA, DIA, MI or MIX")
+		mask       = flag.String("mask", "IA", "influence components: IA (all), IA-WP, IA-AP or IA-AW")
+		seed       = flag.Uint64("seed", 1, "influence-session seed")
+		par        = flag.Int("parallel", 0, "worker pool bound per instant (0 = all cores)")
+		sessionCap = flag.Int("session-cap", 0, "bound each region's influence cache to this many entries, FIFO eviction (0 = unbounded)")
+		trigName   = flag.String("trigger", "manual", "instant trigger: manual, tick or batch")
+		tick       = flag.Duration("tick", 2*time.Second, "wall-time instant period for -trigger tick (also the batch fallback when set)")
+		batch      = flag.Int("batch", 64, "event-count threshold for -trigger batch")
+		simStart   = flag.Float64("sim-start", 0, "simulation time (hours) at process start, for tick-triggered instants")
+		timeScale  = flag.Float64("time-scale", 1, "simulation hours per wall hour for tick-triggered instants")
+		csvPath    = flag.String("assign-csv", "", "write the streaming assignment CSV here on drain (single region only)")
+	)
+	flag.Parse()
+
+	if *fwPath == "" {
+		log.Fatal("dita-serve: -framework is required")
+	}
+	alg, err := assign.ParseAlgorithm(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps, err := parseMask(*mask)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trig engine.Trigger
+	switch *trigName {
+	case "manual":
+		trig = engine.ManualTrigger{}
+	case "tick":
+		trig = engine.TickTrigger{Every: *tick}
+	case "batch":
+		trig = engine.BatchTrigger{N: *batch}
+	default:
+		log.Fatalf("unknown -trigger %q (want manual, tick or batch)", *trigName)
+	}
+
+	fw, info, err := fwio.Load(*fwPath)
+	if err != nil {
+		log.Fatalf("framework: %v", err)
+	}
+	log.Printf("serving framework %s (sha256 %.12s…, source %q)", *fwPath, info.Checksum, info.Source)
+
+	procStart := time.Now() //dita:wallclock
+	scale := *timeScale
+	base := *simStart
+	cfg := serverConfig{
+		engine: engine.Config{
+			Algorithm:       alg,
+			Components:      comps,
+			Seed:            *seed,
+			Parallelism:     *par,
+			SessionCapacity: *sessionCap,
+			Trigger:         trig,
+			Clock:           func() time.Duration { return time.Since(procStart) }, //dita:wallclock
+		},
+		regions: splitRegions(*regions),
+		csvPath: *csvPath,
+		simNow:  func() float64 { return base + time.Since(procStart).Hours()*scale }, //dita:wallclock
+	}
+	srv, err := newServer(fw, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.startTickers()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (regions %s, trigger %s)", *addr, *regions, *trigName)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("%s: draining", got)
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	}
+	// Stop accepting, finish in-flight handlers, then drain the engines
+	// and persist the CSV. The shutdown context bounds how long lingering
+	// connections can hold the exit, not the drain itself.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	if *csvPath != "" {
+		log.Printf("assignment CSV drained to %s", *csvPath)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+func splitRegions(s string) []string {
+	var out []string
+	for _, r := range strings.Split(s, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func parseMask(s string) (influence.Components, error) {
+	switch s {
+	case "IA", "all", "ALL":
+		return influence.All, nil
+	case "IA-WP", "WP":
+		return influence.WP, nil
+	case "IA-AP", "AP":
+		return influence.AP, nil
+	case "IA-AW", "AW":
+		return influence.AW, nil
+	}
+	return 0, fmt.Errorf("unknown mask %q (want IA, IA-WP, IA-AP or IA-AW)", s)
+}

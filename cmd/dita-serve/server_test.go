@@ -1,0 +1,452 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/engine"
+	"dita/internal/lda"
+	"dita/internal/simulate"
+	"dita/internal/trace"
+)
+
+func testFramework(t *testing.T) (*core.Framework, *dataset.Data) {
+	t.Helper()
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 120
+	p.NumVenues = 150
+	p.Days = 5
+	p.Seed = 33
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 4 * 24.0
+	docs, vocab := data.Documents(cutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, core.Config{LDA: lda.Config{Topics: 8, TrainIters: 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, data
+}
+
+func testServer(t *testing.T, fw *core.Framework, cfg serverConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.regions == nil {
+		cfg.regions = []string{"default"}
+	}
+	cfg.engine.Algorithm = assign.IA
+	if cfg.engine.Seed == 0 {
+		cfg.engine.Seed = 7
+	}
+	srv, err := newServer(fw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// do issues one JSON request and decodes the JSON response into out
+// (out may be nil).
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		raw, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeRoundTrips(t *testing.T) {
+	fw, data := testFramework(t)
+	srv, ts := testServer(t, fw, serverConfig{engine: engine.Config{Trigger: engine.ManualTrigger{}}})
+	_ = srv
+
+	var health map[string]string
+	if code := do(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	// Arrivals mint consecutive stable ids.
+	ws, tks, err := trace.Build(data, trace.Params{Arrivals: 20, Seed: 3, Start: 96, Spread: 4, RadiusKm: 25, ValidMin: 4, ValidSpan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wa := range ws {
+		var got struct {
+			WorkerID int `json:"worker_id"`
+		}
+		body := workerReq{User: int32(wa.User), X: wa.Loc.X, Y: wa.Loc.Y, Radius: wa.Radius, At: wa.At}
+		if code := do(t, "POST", ts.URL+"/v1/default/workers", body, &got); code != 200 {
+			t.Fatalf("worker arrival %d: status %d", i, code)
+		}
+		if got.WorkerID != i {
+			t.Fatalf("worker %d minted id %d", i, got.WorkerID)
+		}
+	}
+	for i, ta := range tks {
+		var got struct {
+			TaskID int `json:"task_id"`
+		}
+		cats := make([]int32, len(ta.Categories))
+		for k, c := range ta.Categories {
+			cats[k] = int32(c)
+		}
+		body := taskReq{X: ta.Loc.X, Y: ta.Loc.Y, Publish: ta.Publish, Valid: ta.Valid, Categories: cats, Venue: int32(ta.Venue)}
+		if code := do(t, "POST", ts.URL+"/v1/default/tasks", body, &got); code != 200 {
+			t.Fatalf("task arrival %d: status %d", i, code)
+		}
+		if got.TaskID != i {
+			t.Fatalf("task %d minted id %d", i, got.TaskID)
+		}
+	}
+
+	// Departure round-trip: 200 once, 404 after.
+	if code := do(t, "DELETE", ts.URL+"/v1/default/workers/0", nil, nil); code != 200 {
+		t.Fatalf("departure: status %d", code)
+	}
+	if code := do(t, "DELETE", ts.URL+"/v1/default/workers/0", nil, nil); code != 404 {
+		t.Fatalf("second departure: status %d, want 404", code)
+	}
+	if code := do(t, "DELETE", ts.URL+"/v1/default/tasks/5", nil, nil); code != 200 {
+		t.Fatalf("withdrawal: status %d", code)
+	}
+	if code := do(t, "DELETE", ts.URL+"/v1/default/tasks/999", nil, nil); code != 404 {
+		t.Fatalf("unknown withdrawal: status %d, want 404", code)
+	}
+
+	// An explicit instant assigns and reports stable-id pairs.
+	var ir instantResp
+	if code := do(t, "POST", ts.URL+"/v1/default/instant", instantReq{At: 101}, &ir); code != 200 {
+		t.Fatalf("instant: status %d", code)
+	}
+	if len(ir.Assigned) == 0 {
+		t.Fatal("instant assigned nothing; test pools too sparse")
+	}
+	for _, pr := range ir.Assigned {
+		if pr.Worker == 0 {
+			t.Error("departed worker 0 was assigned")
+		}
+		if pr.Task == 5 {
+			t.Error("withdrawn task 5 was assigned")
+		}
+	}
+
+	// Metrics reflect the run.
+	var m metricsResp
+	if code := do(t, "GET", ts.URL+"/v1/default/metrics", nil, &m); code != 200 {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if m.Totals.Instants != 1 || m.Totals.Assigned != len(ir.Assigned) {
+		t.Fatalf("metrics totals %+v, want 1 instant / %d assigned", m.Totals, len(ir.Assigned))
+	}
+	if m.Totals.Departed != 1 || m.Totals.Cancelled != 1 {
+		t.Fatalf("metrics totals %+v, want 1 departed / 1 cancelled", m.Totals)
+	}
+	if m.Online != 20-1-len(ir.Assigned) {
+		t.Fatalf("online %d after %d assigned and 1 departure", m.Online, len(ir.Assigned))
+	}
+	if m.LastInstant.At != 101 || m.LastInstant.Assigned != len(ir.Assigned) {
+		t.Fatalf("last instant %+v", m.LastInstant)
+	}
+}
+
+func TestServeMalformedPayloadsRejected(t *testing.T) {
+	fw, _ := testFramework(t)
+	_, ts := testServer(t, fw, serverConfig{engine: engine.Config{Trigger: engine.ManualTrigger{}}})
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"truncated json", "POST", "/v1/default/workers", `{"user": 1,`, 400},
+		{"unknown field", "POST", "/v1/default/workers", `{"user":1,"velocity":9}`, 400},
+		{"wrong type", "POST", "/v1/default/tasks", `{"publish":"noon"}`, 400},
+		{"negative radius", "POST", "/v1/default/workers", `{"user":1,"radius":-2}`, 400},
+		{"zero validity", "POST", "/v1/default/tasks", `{"x":1,"y":1}`, 400},
+		{"instant junk", "POST", "/v1/default/instant", `nope`, 400},
+		{"unknown region", "POST", "/v1/mars/workers", `{"user":1}`, 404},
+		{"unknown region metrics", "GET", "/v1/mars/metrics", "", 404},
+		{"bad id", "DELETE", "/v1/default/workers/abc", "", 400},
+		{"wrong method", "GET", "/v1/default/workers", "", 405},
+	}
+	for _, c := range cases {
+		if code := do(t, c.method, ts.URL+c.path, c.body, nil); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+	// Nothing was half-applied: the pools are untouched.
+	var m metricsResp
+	do(t, "GET", ts.URL+"/v1/default/metrics", nil, &m)
+	if m.Online != 0 || m.Open != 0 || m.Totals.Events != 0 {
+		t.Fatalf("rejected payloads mutated state: %+v", m)
+	}
+}
+
+func TestServeBatchTriggerFiresInline(t *testing.T) {
+	fw, data := testFramework(t)
+	_, ts := testServer(t, fw, serverConfig{engine: engine.Config{Trigger: engine.BatchTrigger{N: 4}}})
+	ws, _, err := trace.Build(data, trace.Params{Arrivals: 4, Seed: 3, Start: 96, Spread: 1, RadiusKm: 25, ValidMin: 4, ValidSpan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wa := range ws {
+		var got map[string]json.RawMessage
+		body := workerReq{User: int32(wa.User), X: wa.Loc.X, Y: wa.Loc.Y, Radius: wa.Radius, At: wa.At}
+		if code := do(t, "POST", ts.URL+"/v1/default/workers", body, &got); code != 200 {
+			t.Fatalf("arrival %d: status %d", i, code)
+		}
+		_, fired := got["instant"]
+		if want := i == 3; fired != want {
+			t.Fatalf("arrival %d: instant fired %v, want %v", i, fired, want)
+		}
+	}
+	var m metricsResp
+	do(t, "GET", ts.URL+"/v1/default/metrics", nil, &m)
+	if m.Totals.Instants != 1 || m.Pending != 0 {
+		t.Fatalf("after batch fire: %+v", m)
+	}
+}
+
+// TestServeRegionsAreIsolated: two regions hold independent engines —
+// ids, pools and instants in one never leak into the other.
+func TestServeRegionsAreIsolated(t *testing.T) {
+	fw, data := testFramework(t)
+	_, ts := testServer(t, fw, serverConfig{
+		engine:  engine.Config{Trigger: engine.ManualTrigger{}},
+		regions: []string{"east", "west"},
+	})
+	ws, _, err := trace.Build(data, trace.Params{Arrivals: 3, Seed: 3, Start: 96, Spread: 1, RadiusKm: 25, ValidMin: 4, ValidSpan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wa := range ws {
+		body := workerReq{User: int32(wa.User), X: wa.Loc.X, Y: wa.Loc.Y, Radius: wa.Radius, At: wa.At}
+		if code := do(t, "POST", ts.URL+"/v1/east/workers", body, nil); code != 200 {
+			t.Fatal("east arrival failed")
+		}
+	}
+	var east, west metricsResp
+	do(t, "GET", ts.URL+"/v1/east/metrics", nil, &east)
+	do(t, "GET", ts.URL+"/v1/west/metrics", nil, &west)
+	if east.Online != 3 || west.Online != 0 {
+		t.Fatalf("east %d / west %d online, want 3 / 0", east.Online, west.Online)
+	}
+	// A fresh west arrival mints id 0: id spaces are per-region.
+	var got struct {
+		WorkerID int `json:"worker_id"`
+	}
+	body := workerReq{User: int32(ws[0].User), X: ws[0].Loc.X, Y: ws[0].Loc.Y, Radius: 25, At: 96}
+	do(t, "POST", ts.URL+"/v1/west/workers", body, &got)
+	if got.WorkerID != 0 {
+		t.Fatalf("west minted id %d, want 0", got.WorkerID)
+	}
+}
+
+// TestServeDrainCompletesInFlightInstant is the drain gate: an instant
+// that is already inside its critical section when Drain begins must
+// complete, and its assignments must land in the drained CSV; events
+// arriving after the drain are refused.
+func TestServeDrainCompletesInFlightInstant(t *testing.T) {
+	fw, data := testFramework(t)
+	csvPath := filepath.Join(t.TempDir(), "serve.csv")
+	srv, ts := testServer(t, fw, serverConfig{
+		engine:  engine.Config{Trigger: engine.ManualTrigger{}},
+		csvPath: csvPath,
+	})
+	ws, tks, err := trace.Build(data, trace.Params{Arrivals: 25, Seed: 3, Start: 96, Spread: 2, RadiusKm: 25, ValidMin: 6, ValidSpan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wa := range ws {
+		body := workerReq{User: int32(wa.User), X: wa.Loc.X, Y: wa.Loc.Y, Radius: wa.Radius, At: wa.At}
+		if code := do(t, "POST", ts.URL+"/v1/default/workers", body, nil); code != 200 {
+			t.Fatal("arrival failed")
+		}
+	}
+	for _, ta := range tks {
+		body := taskReq{X: ta.Loc.X, Y: ta.Loc.Y, Publish: ta.Publish, Valid: ta.Valid, Venue: int32(ta.Venue)}
+		if code := do(t, "POST", ts.URL+"/v1/default/tasks", body, nil); code != 200 {
+			t.Fatal("task failed")
+		}
+	}
+
+	// Hold the instant in flight: the hook blocks inside the critical
+	// section until released, while Drain runs concurrently.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.testHookFire = func() {
+		close(entered)
+		<-release
+	}
+	instantDone := make(chan instantResp, 1)
+	go func() {
+		var ir instantResp
+		do(t, "POST", ts.URL+"/v1/default/instant", instantReq{At: 99}, &ir)
+		instantDone <- ir
+	}()
+	<-entered
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain() }()
+	// The instant is mid-flight holding the region lock; releasing it
+	// must let both the instant and the drain complete.
+	close(release)
+	ir := <-instantDone
+	if err := <-drainDone; err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Assigned) == 0 {
+		t.Fatal("in-flight instant assigned nothing; test pools too sparse")
+	}
+
+	// The drained CSV contains exactly the in-flight instant's pairs.
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if lines[0] != "at,task,worker,user,influence,travel_km" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	if len(lines)-1 != len(ir.Assigned) {
+		t.Fatalf("%d CSV rows, %d in-flight assignments", len(lines)-1, len(ir.Assigned))
+	}
+	for _, pr := range ir.Assigned {
+		prefix := fmt.Sprintf("99,%d,%d,", pr.Task, pr.Worker)
+		found := false
+		for _, l := range lines[1:] {
+			if strings.HasPrefix(l, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("assignment %+v missing from drained CSV", pr)
+		}
+	}
+
+	// Post-drain events are refused, and a second drain is a no-op.
+	if code := do(t, "POST", ts.URL+"/v1/default/workers", workerReq{User: 1, Radius: 1}, nil); code != 503 {
+		t.Fatalf("post-drain arrival: status %d, want 503", code)
+	}
+	if code := do(t, "POST", ts.URL+"/v1/default/instant", instantReq{At: 100}, nil); code != 503 {
+		t.Fatalf("post-drain instant: status %d, want 503", code)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestServeMatchesSimulateReplay is the in-process form of the CI serve
+// smoke: the same trace replayed once through simulate.Platform and once
+// through the HTTP endpoints (grid admissions + explicit instants) must
+// drain a byte-identical assignment CSV.
+func TestServeMatchesSimulateReplay(t *testing.T) {
+	fw, data := testFramework(t)
+	tp := trace.Params{Arrivals: 60, Seed: 13, Start: 96, Spread: 12, RadiusKm: 25, ValidMin: 3, ValidSpan: 3}
+	ws, tks, err := trace.Build(data, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, step, horizon = 96.0, 1.0, 14.0
+
+	p, err := simulate.New(fw, simulate.Config{
+		Algorithm: assign.IA, Step: step, Start: start, Horizon: horizon, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(ws, tks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssigned == 0 {
+		t.Fatal("replay assigned nothing; trace too sparse to gate anything")
+	}
+	want := engine.AssignCSV(res.Instants)
+
+	csvPath := filepath.Join(t.TempDir(), "serve.csv")
+	srv, ts := testServer(t, fw, serverConfig{
+		engine:  engine.Config{Trigger: engine.ManualTrigger{}},
+		csvPath: csvPath,
+	})
+	wi, ti := 0, 0
+	count := int(math.Floor(horizon/step + 1e-9))
+	for i := 0; i <= count; i++ {
+		now := start + float64(i)*step
+		for wi < len(ws) && ws[wi].At <= now {
+			wa := ws[wi]
+			body := workerReq{User: int32(wa.User), X: wa.Loc.X, Y: wa.Loc.Y, Radius: wa.Radius, At: wa.At}
+			if code := do(t, "POST", ts.URL+"/v1/default/workers", body, nil); code != 200 {
+				t.Fatal("arrival failed")
+			}
+			wi++
+		}
+		for ti < len(tks) && tks[ti].Publish <= now {
+			ta := tks[ti]
+			cats := make([]int32, len(ta.Categories))
+			for k, c := range ta.Categories {
+				cats[k] = int32(c)
+			}
+			body := taskReq{X: ta.Loc.X, Y: ta.Loc.Y, Publish: ta.Publish, Valid: ta.Valid, Categories: cats, Venue: int32(ta.Venue)}
+			if code := do(t, "POST", ts.URL+"/v1/default/tasks", body, nil); code != 200 {
+				t.Fatal("task failed")
+			}
+			ti++
+		}
+		if code := do(t, "POST", ts.URL+"/v1/default/instant", instantReq{At: now}, nil); code != 200 {
+			t.Fatal("instant failed")
+		}
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("served assignment CSV diverged from the simulate replay")
+	}
+}

@@ -3,11 +3,22 @@
 // one day, runs the chosen algorithm and prints the assignment and its
 // metrics. It is the manual-inspection tool of the repository.
 //
+// With -stream it instead replays a deterministic arrival trace
+// (internal/trace) through the streaming engine on a fixed instant grid
+// (simulate.Platform) and writes the streaming assignment CSV — the
+// batch reference the CI serve smoke diffs byte for byte against a live
+// dita-serve fed the identical trace by dita-bench -serve-load.
+//
+// -train-out seals the trained framework into a fwio artifact;
+// -framework loads one instead of training (the source fingerprint must
+// match this run's dataset and cutoff).
+//
 // Usage:
 //
 //	dita-sim -preset bk -day 25 -tasks 500 -workers 400 -alg IA
 //	dita-sim -data ./data/bk -day 25 -alg EIA -mask IA-AW -v
 //	dita-sim -preset bk -alg MI -pairs tiled -assign-csv /tmp/tiled.csv
+//	dita-sim -stream -train-out /tmp/fw.json -assign-csv /tmp/stream.csv
 package main
 
 import (
@@ -22,8 +33,12 @@ import (
 	"dita/internal/atomicio"
 	"dita/internal/core"
 	"dita/internal/dataset"
+	"dita/internal/engine"
+	"dita/internal/fwio"
 	"dita/internal/influence"
 	"dita/internal/model"
+	"dita/internal/simulate"
+	"dita/internal/trace"
 )
 
 func main() {
@@ -43,6 +58,18 @@ func main() {
 		pairs   = flag.String("pairs", "global", "feasibility scan: global (one grid pass) or tiled (spatial partitioning); outputs are bit-identical")
 		csvPath = flag.String("assign-csv", "", "write the assignment as CSV to this path (deterministic; for diffing runs)")
 		verbose = flag.Bool("v", false, "print every assigned pair")
+
+		fwPath   = flag.String("framework", "", "load a sealed framework artifact instead of training (source must match this run)")
+		trainOut = flag.String("train-out", "", "seal the trained framework into this fwio artifact")
+
+		stream     = flag.Bool("stream", false, "replay an arrival trace through the streaming engine instead of one snapshot instance")
+		arrivals   = flag.Int("arrivals", 400, "stream: workers and tasks in the trace (one of each per index)")
+		traceSeed  = flag.Uint64("trace-seed", 1, "stream: trace sampling seed")
+		spread     = flag.Float64("spread", 12, "stream: arrival window length in hours, starting at the evaluation day")
+		validSpan  = flag.Float64("valid-span", 2, "stream: task validity is uniform in [-valid, -valid + -valid-span)")
+		step       = flag.Float64("step", 0.5, "stream: hours between assignment instants")
+		horizon    = flag.Float64("horizon", 24, "stream: simulated hours after the evaluation day")
+		sessionCap = flag.Int("session-cap", 0, "stream: bound the influence cache to this many entries, FIFO eviction (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -81,19 +108,50 @@ func main() {
 	}
 
 	cutoff := float64(*day) * 24
-	start := time.Now() //dita:wallclock
-	docs, vocab := data.Documents(cutoff)
-	fw, err := core.Train(core.TrainingData{
-		Graph:     data.Graph,
-		Histories: data.HistoriesBefore(cutoff),
-		Documents: docs,
-		Vocab:     vocab,
-		Records:   data.CheckInsBefore(cutoff),
-	}, core.Config{TopWillingnessLocations: 8})
-	if err != nil {
-		log.Fatalf("train: %v", err)
+	source := frameworkSource(data.Params, cutoff)
+	var fw *core.Framework
+	if *fwPath != "" {
+		loaded, info, err := fwio.Load(*fwPath)
+		if err != nil {
+			log.Fatalf("framework: %v", err)
+		}
+		if info.Source != source {
+			log.Fatalf("%s: artifact trained on %q, this run needs %q", *fwPath, info.Source, source)
+		}
+		fmt.Printf("loaded framework from %s (sha256 %.12s…)\n", *fwPath, info.Checksum)
+		fw = loaded
+	} else {
+		start := time.Now() //dita:wallclock
+		docs, vocab := data.Documents(cutoff)
+		fw, err = core.Train(core.TrainingData{
+			Graph:     data.Graph,
+			Histories: data.HistoriesBefore(cutoff),
+			Documents: docs,
+			Vocab:     vocab,
+			Records:   data.CheckInsBefore(cutoff),
+		}, core.Config{TopWillingnessLocations: 8})
+		if err != nil {
+			log.Fatalf("train: %v", err)
+		}
+		fmt.Printf("framework trained in %.1fs\n", time.Since(start).Seconds()) //dita:wallclock
 	}
-	fmt.Printf("framework trained in %.1fs\n", time.Since(start).Seconds()) //dita:wallclock
+	if *trainOut != "" {
+		sum, err := fwio.Write(*trainOut, fw, source)
+		if err != nil {
+			log.Fatalf("train-out: %v", err)
+		}
+		fmt.Printf("framework sealed to %s (sha256 %.12s…)\n", *trainOut, sum)
+	}
+
+	if *stream {
+		runStream(fw, data, streamParams{
+			alg: alg, comps: comps, seed: *seed, par: *par, sessionCap: *sessionCap,
+			arrivals: *arrivals, traceSeed: *traceSeed, start: cutoff, spread: *spread,
+			radius: *radius, validMin: *valid, validSpan: *validSpan,
+			step: *step, horizon: *horizon, csvPath: *csvPath,
+		})
+		return
+	}
 
 	inst, err := data.Snapshot(dataset.SnapshotParams{
 		Day: *day, NumTasks: *tasks, NumWorkers: *workers,
@@ -103,7 +161,7 @@ func main() {
 		log.Fatalf("snapshot: %v", err)
 	}
 
-	start = time.Now() //dita:wallclock
+	start := time.Now() //dita:wallclock
 	sess := fw.PrepareSession(comps, *seed, *par)
 	ev := sess.Prepare(inst)
 	fmt.Printf("influence model (%s) prepared in %.1fs\n", comps, time.Since(start).Seconds()) //dita:wallclock
@@ -152,6 +210,80 @@ func main() {
 				set.Influence[i], set.TravelKm[i])
 		}
 	}
+}
+
+// streamParams bundles everything the -stream replay needs.
+type streamParams struct {
+	alg        assign.Algorithm
+	comps      influence.Components
+	seed       uint64
+	par        int
+	sessionCap int
+
+	arrivals            int
+	traceSeed           uint64
+	start, spread       float64
+	radius              float64
+	validMin, validSpan float64
+	step, horizon       float64
+	csvPath             string
+}
+
+// runStream replays a deterministic arrival trace through the streaming
+// engine on the instant grid and prints the run summary. The trace is
+// rebuilt from (dataset, trace params) rather than shipped, so an
+// independent process with the same flags — dita-bench -serve-load
+// against a live dita-serve — replays the identical workload, and the
+// two assignment CSVs can be diffed byte for byte.
+func runStream(fw *core.Framework, data *dataset.Data, p streamParams) {
+	ws, ts, err := trace.Build(data, trace.Params{
+		Arrivals: p.arrivals, Seed: p.traceSeed, Start: p.start, Spread: p.spread,
+		RadiusKm: p.radius, ValidMin: p.validMin, ValidSpan: p.validSpan,
+	})
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	plat, err := simulate.New(fw, simulate.Config{
+		Algorithm: p.alg, Components: p.comps, Seed: p.seed, Parallelism: p.par,
+		Step: p.step, Start: p.start, Horizon: p.horizon, SessionCapacity: p.sessionCap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Now() //dita:wallclock
+	res, err := plat.Run(ws, ts)
+	if err != nil {
+		log.Fatalf("stream: %v", err)
+	}
+	elapsed := time.Since(wall) //dita:wallclock
+	totals := plat.Engine().Totals()
+
+	fmt.Printf("\n%s streamed over [%g, %g]h in %g-h instants (%d arrivals each side):\n",
+		p.alg, p.start, p.start+p.horizon, p.step, p.arrivals)
+	fmt.Printf("  instants             %d\n", totals.Instants)
+	fmt.Printf("  assigned tasks       %d\n", totals.Assigned)
+	fmt.Printf("  expired tasks        %d\n", totals.Expired)
+	fmt.Printf("  completion rate      %.4f\n", res.CompletionRate)
+	fmt.Printf("  still online/open    %d/%d\n", plat.Online(), plat.Open())
+	fmt.Printf("  replay wall time     %s\n", elapsed.Round(time.Millisecond))
+
+	if p.csvPath != "" {
+		csv := engine.AssignCSV(res.Instants)
+		if err := atomicio.WriteFile(p.csvPath, csv, 0o644); err != nil {
+			log.Fatalf("assign-csv: %v", err)
+		}
+		fmt.Printf("  assignment CSV       %s (%d rows)\n", p.csvPath, totals.Assigned)
+	}
+}
+
+// frameworkSource canonically identifies a framework's training input —
+// the dataset parameters that shape the training set plus the
+// offline/online cutoff. It must stay formatted exactly as dita-bench
+// writes it, so artifacts sealed by either tool interoperate: a
+// -framework load refuses an artifact fitted for a different run.
+func frameworkSource(dp dataset.Params, cutoffHours float64) string {
+	return fmt.Sprintf("dataset=%s users=%d venues=%d days=%d dataset-seed=%d cutoff-h=%g",
+		dp.Name, dp.NumUsers, dp.NumVenues, dp.Days, dp.Seed, cutoffHours)
 }
 
 // writeAssignCSV dumps the assignment in a fully deterministic text

@@ -321,6 +321,13 @@ func (s *Session) Assign(inst *model.Instance, alg assign.Algorithm, pairs []ass
 // evicted (see influence.Session.Sync).
 func (s *Session) Sync(inst *model.Instance) { s.is.Sync(inst) }
 
+// SetCapacity bounds the session's per-entity influence caches to n
+// entries each with deterministic FIFO-by-admission eviction; n <= 0
+// removes the bound. Memory-only: results are bit-identical at any
+// capacity, since evicted-but-live entities recompute identical state on
+// their next instant (see influence.Session.SetCapacity).
+func (s *Session) SetCapacity(n int) { s.is.SetCapacity(n) }
+
 // Influence exposes the underlying influence session (cache
 // introspection for tests and benchmarks).
 func (s *Session) Influence() *influence.Session { return s.is }

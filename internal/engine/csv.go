@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+)
+
+// AssignCSV renders a run's per-instant assignments as the streaming
+// assignment CSV: one row per matched pair in platform-stable
+// identities, ordered by instant and, within an instant, by the solver's
+// deterministic pair order. Floats are shortest exact decimals, so two
+// bit-identical runs render byte-identical files — the property the CI
+// serve smoke leg diffs (dita-serve's drained CSV vs dita-sim -stream on
+// the same trace).
+func AssignCSV(instants []InstantResult) []byte {
+	var b strings.Builder
+	b.WriteString("at,task,worker,user,influence,travel_km\n")
+	for i := range instants {
+		ir := &instants[i]
+		at := strconv.FormatFloat(ir.At, 'g', -1, 64)
+		for _, p := range ir.Assigned {
+			b.WriteString(at)
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(int64(p.Task), 10))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(int64(p.Worker), 10))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(int64(p.User), 10))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.Influence, 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(p.TravelKm, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}

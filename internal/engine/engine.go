@@ -1,0 +1,549 @@
+// Package engine is the streaming assignment engine of the platform:
+// the event-driven instant loop that used to be hard-wired into
+// simulate.Platform.Run, extracted so that both a deterministic replay
+// driver (internal/simulate) and a long-lived serving front-end
+// (cmd/dita-serve) can run the same loop against the same carry-over
+// state.
+//
+// The engine applies an explicit event stream — WorkerArrive,
+// WorkerDepart, TaskArrive, TaskExpire — to the pools backing a
+// core.Session, and fires assignment instants (InstantFire) that
+// snapshot the pools, run the online phase through the session caches,
+// solve the assignment and retire the matched pairs. Entities keep
+// platform-stable identities for their whole lifetime, which is the
+// contract the influence session (per-entity cache keys) and the pair
+// index (arrival-ordered admission) both rely on.
+//
+// Determinism: the engine core never reads the wall clock or any other
+// ambient state. Simulation time arrives on the events themselves
+// (Event.At, task publish times), and latency measurement goes through
+// an injected monotonic Clock — nil for a clockless engine whose
+// recorded latencies are simply zero. Two engines fed the same event
+// stream produce bit-identical results at any Parallelism setting, the
+// property the replay-vs-serve CI smoke diffs byte for byte.
+//
+// Concurrency: an Engine is single-threaded by design (the session
+// caches it drives are not safe for concurrent use). Front-ends that
+// ingest events from concurrent connections must serialize Apply/Fire
+// calls per engine; cmd/dita-serve holds one engine (and one mutex) per
+// region.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/geo"
+	"dita/internal/influence"
+	"dita/internal/model"
+)
+
+// Clock is the engine's injected time source, used only to measure
+// per-instant latency (InstantResult.Prepare, PairMaint): a monotonic
+// reading, typically time.Since of a fixed process-start instant.
+// Durations are formed by subtracting two readings, so the zero point is
+// arbitrary. A nil Clock disables latency measurement.
+type Clock func() time.Duration
+
+// WorkerArrival is the payload of a WorkerArrive event: a worker joining
+// the platform. At is the arrival time in hours — the replay driver uses
+// it to order admissions against the instant grid; the engine itself
+// stores only the worker.
+type WorkerArrival struct {
+	User   model.WorkerID
+	Loc    geo.Point
+	Radius float64
+	At     float64
+}
+
+// TaskArrival is the payload of a TaskArrive event: a task published on
+// the platform at Publish, expiring at Publish+Valid.
+type TaskArrival struct {
+	Loc        geo.Point
+	Publish    float64
+	Valid      float64
+	Categories []model.CategoryID
+	Venue      model.VenueID
+}
+
+// EventKind tags the engine's event union.
+type EventKind uint8
+
+const (
+	// WorkerArrive admits Event.Worker to the pool and assigns it the
+	// next stable platform id.
+	WorkerArrive EventKind = iota + 1
+	// WorkerDepart removes the worker with platform id Event.WorkerID
+	// (went offline without being assigned).
+	WorkerDepart
+	// TaskArrive publishes Event.Task and assigns it the next stable id.
+	TaskArrive
+	// TaskExpire withdraws the task with platform id Event.TaskID before
+	// its deadline (cancelled by its requester). Deadline expiry needs no
+	// event: every InstantFire sweeps overdue tasks first.
+	TaskExpire
+	// InstantFire runs one assignment instant at time Event.At.
+	InstantFire
+)
+
+// String names the kind for logs and errors.
+func (k EventKind) String() string {
+	switch k {
+	case WorkerArrive:
+		return "WorkerArrive"
+	case WorkerDepart:
+		return "WorkerDepart"
+	case TaskArrive:
+		return "TaskArrive"
+	case TaskExpire:
+		return "TaskExpire"
+	case InstantFire:
+		return "InstantFire"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one element of the engine's input stream. Only the fields of
+// the tagged kind are read.
+type Event struct {
+	Kind EventKind
+	// At is the event's simulation time in hours; required for
+	// InstantFire, informational otherwise.
+	At float64
+	// Worker is the WorkerArrive payload.
+	Worker WorkerArrival
+	// Task is the TaskArrive payload.
+	Task TaskArrival
+	// WorkerID names the departing worker of a WorkerDepart.
+	WorkerID model.WorkerID
+	// TaskID names the withdrawn task of a TaskExpire.
+	TaskID model.TaskID
+}
+
+// Config parameterizes an engine. The zero Components means the full
+// influence model; the cold knobs mirror simulate.Config (they exist for
+// equivalence testing and benchmarking — outputs are bit-identical
+// either way).
+type Config struct {
+	// Algorithm used at every instant.
+	Algorithm assign.Algorithm
+	// Components is the influence mask (influence.All when zero).
+	Components influence.Components
+	// Seed feeds the influence session; per-task fold-in streams are
+	// derived from it and the task's stable identity.
+	Seed uint64
+	// Parallelism bounds the worker pool for fresh per-entity influence
+	// state, pair admission and the component-decomposed solve (<= 0
+	// means all cores). Results are bit-identical at any setting.
+	Parallelism int
+	// ColdPrepare disables the incremental session and rebuilds the full
+	// influence state every instant. It implies cold feasible pairs too:
+	// without a session there is nowhere to carry the pair index.
+	ColdPrepare bool
+	// ColdPairs disables the incremental feasible-pair index and rescans
+	// the full workers×tasks feasibility every instant.
+	ColdPairs bool
+	// TiledColdPairs routes the ColdPairs rescan through the tiled
+	// scanner, recording the instant's tile count in InstantResult.Tiles.
+	// Ignored unless ColdPairs is in effect.
+	TiledColdPairs bool
+	// SessionCapacity bounds the influence session's per-entity caches:
+	// after each instant, at most this many cached task states and this
+	// many cached user states are retained, evicting the
+	// earliest-admitted live entries first (deterministic FIFO; evicted
+	// entries are recomputed bit-identically if their entity is still
+	// pooled at a later instant). 0 means unbounded — cache memory then
+	// tracks the live pool. See influence.Session.SetCapacity.
+	SessionCapacity int
+	// Clock measures per-instant latency; nil records zero latencies.
+	Clock Clock
+	// Trigger is the instant-firing policy consulted after every applied
+	// arrival/departure (Applied.FireNow); nil never volunteers an
+	// instant, leaving firing entirely to the caller (the replay
+	// driver's mode).
+	Trigger Trigger
+}
+
+// Totals are the engine's cumulative counters since construction.
+type Totals struct {
+	// Events counts applied arrival/departure/withdrawal events
+	// (InstantFire is counted by Instants).
+	Events int `json:"events"`
+	// Instants counts fired assignment instants.
+	Instants int `json:"instants"`
+	// Assigned counts matched worker-task pairs.
+	Assigned int `json:"assigned"`
+	// Expired counts tasks dropped by the deadline sweep.
+	Expired int `json:"expired"`
+	// Cancelled counts tasks withdrawn by explicit TaskExpire events.
+	Cancelled int `json:"cancelled"`
+	// Departed counts workers removed by explicit WorkerDepart events.
+	Departed int `json:"departed"`
+}
+
+// AssignedPair is one matched pair of an instant in platform-stable
+// identities (where InstantResult.Pairs is positional into the instant's
+// snapshot): the task's and worker's lifetime platform ids, the worker's
+// social-graph user, and the realized influence and travel. This is the
+// form serving front-ends expose and the streaming assignment CSV
+// records.
+type AssignedPair struct {
+	Task      model.TaskID   `json:"task"`
+	Worker    model.WorkerID `json:"worker"`
+	User      model.WorkerID `json:"user"`
+	Influence float64        `json:"influence"`
+	TravelKm  float64        `json:"travel_km"`
+}
+
+// InstantResult records one assignment instant.
+type InstantResult struct {
+	At            float64
+	OnlineWorkers int
+	OpenTasks     int
+	// Prepare is the online-phase latency of the instant: the time spent
+	// building the influence evaluator (cached-session hits make this
+	// collapse for carried-over entities), or — on an instant with an
+	// empty pool side, where no assignment runs — the session's Sync,
+	// which is the same cache maintenance without an evaluator.
+	// Assignment time is in Metrics.CPU, matching the paper's phase
+	// split. Zero on a clockless engine.
+	Prepare time.Duration
+	// PairMaint is the feasible-pair latency of the instant: maintaining
+	// the incremental pair index (or, under cold pairs, rescanning the
+	// full workers×tasks feasibility). Excluded from Metrics.CPU.
+	PairMaint time.Duration
+	Metrics   core.Metrics
+	// Tiles reports the instant's tiled-pipeline shape: feasibility-graph
+	// component stats for every busy instant, plus the spatial tile count
+	// when the instant's pairs came from a tiled cold scan.
+	Tiles assign.TileStats
+	// Expired counts tasks the instant's deadline sweep dropped.
+	Expired int
+	// Pairs are the instant's matched pairs referencing the instant's
+	// snapshot positionally (snapshot order == pool order at that
+	// instant).
+	Pairs []model.Assignment
+	// Assigned are the same pairs in platform-stable identities.
+	Assigned []AssignedPair
+}
+
+// Applied reports what an Apply did: the stable id minted for an
+// arrival, the instant result of an InstantFire, and whether the
+// configured trigger wants an instant fired now.
+type Applied struct {
+	// WorkerID is the platform id assigned to a WorkerArrive.
+	WorkerID model.WorkerID
+	// TaskID is the platform id assigned to a TaskArrive.
+	TaskID model.TaskID
+	// Instant is the result of an InstantFire, nil otherwise.
+	Instant *InstantResult
+	// FireNow reports that the trigger's batch threshold is reached: the
+	// caller should fire an instant (the engine never fires on its own —
+	// the caller supplies the instant time).
+	FireNow bool
+}
+
+// ErrUnknownWorker and ErrUnknownTask report departure/withdrawal events
+// naming a platform id that is not pooled (already assigned, expired,
+// departed — or never issued).
+var (
+	ErrUnknownWorker = errors.New("engine: no such worker in the pool")
+	ErrUnknownTask   = errors.New("engine: no such task in the pool")
+)
+
+// Engine is the carry-over state between instants: the live pools, the
+// stable-id counters, and the incremental session (influence cache +
+// pair index) the instants are served through.
+type Engine struct {
+	fw      *core.Framework
+	cfg     Config
+	sess    *core.Session
+	workers []model.Worker // online, not yet assigned; ID is the stable arrival id
+	tasks   []model.Task   // published, unexpired, unassigned; ID stable since publication
+	nextTID model.TaskID
+	nextWID model.WorkerID
+	// usedW/usedT are reusable retirement marks sized to the pools, so
+	// the hot instant loop rebuilds no maps.
+	usedW, usedT []bool
+	// pending counts events applied since the last instant — the batch
+	// trigger's input.
+	pending int
+	totals  Totals
+}
+
+// New returns an empty engine bound to a trained framework.
+func New(fw *core.Framework, cfg Config) (*Engine, error) {
+	if fw == nil {
+		return nil, fmt.Errorf("engine: nil framework")
+	}
+	if cfg.Components == 0 {
+		cfg.Components = influence.All
+	}
+	e := &Engine{fw: fw, cfg: cfg}
+	if !cfg.ColdPrepare {
+		e.sess = fw.PrepareSession(cfg.Components, cfg.Seed, cfg.Parallelism)
+		if cfg.SessionCapacity > 0 {
+			e.sess.SetCapacity(cfg.SessionCapacity)
+		}
+	}
+	return e, nil
+}
+
+// Apply applies one event. Arrival events mint and return the entity's
+// stable platform id; departure events fail with ErrUnknownWorker /
+// ErrUnknownTask when the id is not pooled; InstantFire runs the instant
+// and returns its result.
+func (e *Engine) Apply(ev Event) (Applied, error) {
+	switch ev.Kind {
+	case WorkerArrive:
+		a := ev.Worker
+		id := e.nextWID
+		e.workers = append(e.workers, model.Worker{
+			ID: id, User: a.User, Loc: a.Loc, Radius: a.Radius,
+		})
+		e.nextWID++
+		e.eventApplied()
+		return Applied{WorkerID: id, FireNow: e.fireNow()}, nil
+	case TaskArrive:
+		a := ev.Task
+		id := e.nextTID
+		e.tasks = append(e.tasks, model.Task{
+			ID: id, Loc: a.Loc, Publish: a.Publish,
+			Valid: a.Valid, Categories: a.Categories, Venue: a.Venue,
+		})
+		e.nextTID++
+		e.eventApplied()
+		return Applied{TaskID: id, FireNow: e.fireNow()}, nil
+	case WorkerDepart:
+		if !e.removeWorker(ev.WorkerID) {
+			return Applied{}, fmt.Errorf("%w: worker %d", ErrUnknownWorker, ev.WorkerID)
+		}
+		e.totals.Departed++
+		e.eventApplied()
+		return Applied{FireNow: e.fireNow()}, nil
+	case TaskExpire:
+		if !e.removeTask(ev.TaskID) {
+			return Applied{}, fmt.Errorf("%w: task %d", ErrUnknownTask, ev.TaskID)
+		}
+		e.totals.Cancelled++
+		e.eventApplied()
+		return Applied{FireNow: e.fireNow()}, nil
+	case InstantFire:
+		ir := e.Fire(ev.At)
+		return Applied{Instant: &ir}, nil
+	}
+	return Applied{}, fmt.Errorf("engine: unknown event kind %v", ev.Kind)
+}
+
+func (e *Engine) eventApplied() {
+	e.pending++
+	e.totals.Events++
+}
+
+func (e *Engine) fireNow() bool {
+	return e.cfg.Trigger != nil && e.cfg.Trigger.FireOnPending(e.pending)
+}
+
+// removeWorker drops the pooled worker with the given stable id,
+// preserving pool order. Departures are rare relative to instants, so a
+// linear scan beats maintaining an id→position map that every
+// retirement compaction would invalidate.
+func (e *Engine) removeWorker(id model.WorkerID) bool {
+	for i, w := range e.workers {
+		if w.ID == id {
+			e.workers = append(e.workers[:i], e.workers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// removeTask drops the pooled task with the given stable id, preserving
+// pool order.
+func (e *Engine) removeTask(id model.TaskID) bool {
+	for i, t := range e.tasks {
+		if t.ID == id {
+			e.tasks = append(e.tasks[:i], e.tasks[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// clock reads the injected monotonic clock; a clockless engine reads a
+// constant, so every recorded latency is zero.
+func (e *Engine) clock() time.Duration {
+	if e.cfg.Clock == nil {
+		return 0
+	}
+	return e.cfg.Clock()
+}
+
+// Fire runs one assignment instant at simulation time now: sweep overdue
+// tasks, snapshot the pools, prepare the influence evaluator through the
+// session (or cold), maintain the feasible pairs, solve, and retire the
+// matched pairs. An instant with an empty pool side runs no assignment
+// but still syncs the session caches — admitting arrivals ahead of the
+// next busy instant and evicting departures — with that maintenance cost
+// timed into Prepare/PairMaint exactly as a busy instant's would be.
+func (e *Engine) Fire(now float64) InstantResult {
+	e.pending = 0
+	e.totals.Instants++
+
+	// Expire stale tasks. The sweep runs before the snapshot so an
+	// instant never offers a task that is already past its deadline.
+	expired := 0
+	kept := e.tasks[:0]
+	for _, t := range e.tasks {
+		if t.Expiry() < now {
+			expired++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	e.tasks = kept
+	e.totals.Expired += expired
+
+	if len(e.workers) == 0 || len(e.tasks) == 0 {
+		var prep, pairMaint time.Duration
+		if e.sess != nil {
+			inst := &model.Instance{Now: now, Workers: e.workers, Tasks: e.tasks}
+			t0 := e.clock()
+			e.sess.Sync(inst)
+			prep = e.clock() - t0
+			if !e.cfg.ColdPairs {
+				t1 := e.clock()
+				e.sess.Pairs(inst)
+				pairMaint = e.clock() - t1
+			}
+		}
+		return InstantResult{
+			At: now, OnlineWorkers: len(e.workers), OpenTasks: len(e.tasks),
+			Prepare: prep, PairMaint: pairMaint, Expired: expired,
+		}
+	}
+
+	inst := e.instance(now)
+	t0 := e.clock()
+	var ev *influence.Evaluator
+	if e.cfg.ColdPrepare {
+		ev = e.fw.PrepareSession(e.cfg.Components, e.cfg.Seed, e.cfg.Parallelism).Prepare(inst)
+	} else {
+		ev = e.sess.Prepare(inst)
+	}
+	prep := e.clock() - t0
+	t1 := e.clock()
+	var pairs []assign.Pair
+	scanTiles := 0
+	if e.cfg.ColdPairs || e.sess == nil {
+		if e.cfg.TiledColdPairs {
+			pairs, scanTiles = assign.TiledFeasiblePairs(inst, e.fw.Speed(), e.cfg.Parallelism)
+		} else {
+			pairs = assign.FeasiblePairs(inst, e.fw.Speed())
+		}
+	} else {
+		pairs = e.sess.Pairs(inst)
+	}
+	pairMaint := e.clock() - t1
+	set, m, ts := e.fw.AssignPreparedPairsTiled(inst, ev, e.cfg.Algorithm, pairs, e.cfg.Parallelism)
+	ts.Tiles = scanTiles
+	ir := InstantResult{
+		At: now, OnlineWorkers: len(e.workers), OpenTasks: len(e.tasks),
+		Prepare: prep, PairMaint: pairMaint, Metrics: m, Tiles: ts,
+		Expired: expired, Pairs: set.Pairs, Assigned: stablePairs(inst, set),
+	}
+	e.totals.Assigned += set.Len()
+	e.retire(set)
+	return ir
+}
+
+// instance materializes the current pool as a model.Instance. Entities
+// keep their stable platform ids; position i of the instance is position
+// i of the pool, which is the instance-local mapping retire relies on.
+func (e *Engine) instance(now float64) *model.Instance {
+	inst := &model.Instance{Now: now}
+	inst.Workers = append([]model.Worker(nil), e.workers...)
+	inst.Tasks = append([]model.Task(nil), e.tasks...)
+	return inst
+}
+
+// stablePairs translates the instant's positional assignment into
+// platform-stable identities using the instant's snapshot.
+func stablePairs(inst *model.Instance, set *model.AssignmentSet) []AssignedPair {
+	if set.Len() == 0 {
+		return nil
+	}
+	out := make([]AssignedPair, set.Len())
+	for i, pr := range set.Pairs {
+		w := inst.Workers[pr.Worker]
+		t := inst.Tasks[pr.Task]
+		out[i] = AssignedPair{
+			Task: t.ID, Worker: w.ID, User: w.User,
+			Influence: set.Influence[i], TravelKm: set.TravelKm[i],
+		}
+	}
+	return out
+}
+
+// retire removes assigned workers and tasks from the pool (workers go
+// offline once assigned, tasks are served once). Pairs index the
+// instant's snapshot, whose order equals pool order. The mark slices are
+// reused across instants and reset while compacting, so the hot loop
+// allocates nothing once the pools reach steady size.
+func (e *Engine) retire(set *model.AssignmentSet) {
+	e.usedW = resize(e.usedW, len(e.workers))
+	e.usedT = resize(e.usedT, len(e.tasks))
+	for _, pr := range set.Pairs {
+		e.usedW[pr.Worker] = true
+		e.usedT[pr.Task] = true
+	}
+	keptW := e.workers[:0]
+	for i, w := range e.workers {
+		used := e.usedW[i]
+		e.usedW[i] = false
+		if !used {
+			keptW = append(keptW, w)
+		}
+	}
+	e.workers = keptW
+	keptT := e.tasks[:0]
+	for i, t := range e.tasks {
+		used := e.usedT[i]
+		e.usedT[i] = false
+		if !used {
+			keptT = append(keptT, t)
+		}
+	}
+	e.tasks = keptT
+}
+
+// resize returns marks with length n, reusing its backing array when it
+// is large enough. Reused entries are already false: retire resets every
+// mark while compacting, and fresh allocations are zeroed.
+func resize(marks []bool, n int) []bool {
+	if cap(marks) < n {
+		return make([]bool, n)
+	}
+	return marks[:n]
+}
+
+// Session returns the engine's influence session, or nil under
+// ColdPrepare.
+func (e *Engine) Session() *core.Session { return e.sess }
+
+// Online returns the number of currently online (unassigned) workers.
+func (e *Engine) Online() int { return len(e.workers) }
+
+// Open returns the number of currently open (unassigned, unexpired)
+// tasks.
+func (e *Engine) Open() int { return len(e.tasks) }
+
+// Pending returns the number of events applied since the last instant —
+// the queue depth a batch trigger fires on.
+func (e *Engine) Pending() int { return e.pending }
+
+// Totals returns the engine's cumulative counters.
+func (e *Engine) Totals() Totals { return e.totals }

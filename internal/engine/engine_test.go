@@ -1,0 +1,390 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"dita/internal/assign"
+	"dita/internal/core"
+	"dita/internal/dataset"
+	"dita/internal/engine"
+	"dita/internal/geo"
+	"dita/internal/lda"
+	"dita/internal/model"
+	"dita/internal/paralleltest"
+	"dita/internal/randx"
+	"dita/internal/simulate"
+)
+
+func testFramework(t *testing.T) (*core.Framework, *dataset.Data) {
+	t.Helper()
+	p := dataset.BrightkiteLike()
+	p.NumUsers = 150
+	p.NumVenues = 200
+	p.Days = 6
+	p.Seed = 21
+	data, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := 5 * 24.0
+	docs, vocab := data.Documents(cutoff)
+	fw, err := core.Train(core.TrainingData{
+		Graph:     data.Graph,
+		Histories: data.HistoriesBefore(cutoff),
+		Documents: docs,
+		Vocab:     vocab,
+		Records:   data.CheckInsBefore(cutoff),
+	}, core.Config{LDA: lda.Config{Topics: 8, TrainIters: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, data
+}
+
+// streams builds time-sorted worker/task arrival streams over one
+// simulated day.
+func streams(data *dataset.Data, n int, seed uint64) ([]engine.WorkerArrival, []engine.TaskArrival) {
+	rng := randx.New(seed)
+	var ws []engine.WorkerArrival
+	var ts []engine.TaskArrival
+	for i := 0; i < n; i++ {
+		u := model.WorkerID(rng.Intn(data.Params.NumUsers))
+		ws = append(ws, engine.WorkerArrival{
+			User:   u,
+			Loc:    data.Homes[u],
+			Radius: 25,
+			At:     120 + rng.Float64()*12,
+		})
+		v := data.Venues[rng.Intn(len(data.Venues))]
+		ts = append(ts, engine.TaskArrival{
+			Loc: v.Loc, Publish: 120 + rng.Float64()*12, Valid: 3 + rng.Float64()*3,
+			Categories: v.Categories, Venue: v.ID,
+		})
+	}
+	sortArrivals(ws, ts)
+	return ws, ts
+}
+
+func sortArrivals(ws []engine.WorkerArrival, ts []engine.TaskArrival) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].At < ws[j-1].At; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Publish < ts[j-1].Publish; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// normalize strips the only legitimately run-dependent values — wall
+// clock measurements — so instant records compare bit for bit.
+func normalize(instants []engine.InstantResult) []engine.InstantResult {
+	out := append([]engine.InstantResult(nil), instants...)
+	for i := range out {
+		out[i].Prepare = 0
+		out[i].PairMaint = 0
+		out[i].Metrics.CPU = 0
+	}
+	return out
+}
+
+// replayGrid drives a bare engine with an explicit event stream on the
+// same integer instant grid the replay driver uses: admissions up to
+// each instant (workers, then tasks, in arrival order), then an
+// InstantFire event.
+func replayGrid(t *testing.T, e *engine.Engine, ws []engine.WorkerArrival, ts []engine.TaskArrival, start, step, horizon float64) []engine.InstantResult {
+	t.Helper()
+	var out []engine.InstantResult
+	wi, ti := 0, 0
+	count := int(math.Floor(horizon/step + 1e-9))
+	for i := 0; i <= count; i++ {
+		now := start + float64(i)*step
+		for wi < len(ws) && ws[wi].At <= now {
+			if _, err := e.Apply(engine.Event{Kind: engine.WorkerArrive, At: now, Worker: ws[wi]}); err != nil {
+				t.Fatal(err)
+			}
+			wi++
+		}
+		for ti < len(ts) && ts[ti].Publish <= now {
+			if _, err := e.Apply(engine.Event{Kind: engine.TaskArrive, At: now, Task: ts[ti]}); err != nil {
+				t.Fatal(err)
+			}
+			ti++
+		}
+		ap, err := e.Apply(engine.Event{Kind: engine.InstantFire, At: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, *ap.Instant)
+	}
+	return out
+}
+
+// TestEngineReplayMatchesPlatformRun is the tentpole's acceptance gate:
+// simulate.Platform.Run is now a replay driver over the engine, and an
+// explicit event stream driven through Engine.Apply — the form
+// dita-serve ingests — must reproduce the whole run bit for bit
+// (DeepEqual after stripping wall-clock fields) at Parallelism 1, 2 and
+// 8, clockless engine against the platform's real-clock one.
+func TestEngineReplayMatchesPlatformRun(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 50, 11)
+	const start, step, horizon = 120, 2, 16
+	for _, par := range paralleltest.WorkerCounts {
+		p, err := simulate.New(fw, simulate.Config{
+			Algorithm: assign.IA, Step: step, Start: start, Horizon: horizon,
+			Seed: 5, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(fw, engine.Config{
+			Algorithm: assign.IA, Seed: 5, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := replayGrid(t, e, ws, ts, start, step, horizon)
+		if res.TotalAssigned == 0 {
+			t.Fatal("equivalence run assigned nothing; streams too sparse to gate anything")
+		}
+		if !reflect.DeepEqual(normalize(res.Instants), normalize(got)) {
+			t.Fatalf("parallelism %d: event-driven engine diverged from Platform.Run replay", par)
+		}
+		tot := e.Totals()
+		if tot.Assigned != res.TotalAssigned || tot.Expired != res.ExpiredTasks {
+			t.Fatalf("parallelism %d: totals %+v vs platform %d assigned / %d expired",
+				par, tot, res.TotalAssigned, res.ExpiredTasks)
+		}
+		if tot.Instants != len(res.Instants) {
+			t.Fatalf("parallelism %d: %d instants counted, %d recorded", par, tot.Instants, len(res.Instants))
+		}
+	}
+}
+
+// TestEngineDepartureAndWithdrawal covers the two event kinds the batch
+// replay never exercises: explicit worker departures and task
+// withdrawals, including the unknown-id error contract dita-serve maps
+// to 404s.
+func TestEngineDepartureAndWithdrawal(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 10, 7)
+	e, err := engine.New(fw, engine.Config{Algorithm: assign.IA, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wids []model.WorkerID
+	var tids []model.TaskID
+	for _, w := range ws {
+		ap, err := e.Apply(engine.Event{Kind: engine.WorkerArrive, Worker: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wids = append(wids, ap.WorkerID)
+	}
+	for _, task := range ts {
+		ap, err := e.Apply(engine.Event{Kind: engine.TaskArrive, Task: task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, ap.TaskID)
+	}
+	if e.Online() != len(ws) || e.Open() != len(ts) {
+		t.Fatalf("pools %d/%d after %d/%d arrivals", e.Online(), e.Open(), len(ws), len(ts))
+	}
+	// Depart one worker and withdraw one task from the middle of the
+	// pool.
+	if _, err := e.Apply(engine.Event{Kind: engine.WorkerDepart, WorkerID: wids[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(engine.Event{Kind: engine.TaskExpire, TaskID: tids[4]}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Online() != len(ws)-1 || e.Open() != len(ts)-1 {
+		t.Fatalf("pools %d/%d after one departure and one withdrawal", e.Online(), e.Open())
+	}
+	// Departed entities are gone: repeating the event must fail.
+	if _, err := e.Apply(engine.Event{Kind: engine.WorkerDepart, WorkerID: wids[3]}); !errors.Is(err, engine.ErrUnknownWorker) {
+		t.Fatalf("second departure: %v, want ErrUnknownWorker", err)
+	}
+	if _, err := e.Apply(engine.Event{Kind: engine.TaskExpire, TaskID: tids[4]}); !errors.Is(err, engine.ErrUnknownTask) {
+		t.Fatalf("second withdrawal: %v, want ErrUnknownTask", err)
+	}
+	tot := e.Totals()
+	if tot.Departed != 1 || tot.Cancelled != 1 {
+		t.Fatalf("totals %+v, want 1 departed / 1 cancelled", tot)
+	}
+	// The departed worker and withdrawn task never appear in an
+	// assignment.
+	ir := e.Fire(ws[len(ws)-1].At + 1)
+	for _, pr := range ir.Assigned {
+		if pr.Worker == wids[3] {
+			t.Errorf("departed worker %d was assigned", pr.Worker)
+		}
+		if pr.Task == tids[4] {
+			t.Errorf("withdrawn task %d was assigned", pr.Task)
+		}
+	}
+	// Stable ids round-trip: every assigned pair names ids the engine
+	// actually minted.
+	minted := map[model.WorkerID]bool{}
+	for _, id := range wids {
+		minted[id] = true
+	}
+	for _, pr := range ir.Assigned {
+		if !minted[pr.Worker] {
+			t.Errorf("assigned worker id %d was never minted", pr.Worker)
+		}
+	}
+}
+
+// TestEngineTriggers pins the trigger contract: a batch trigger
+// volunteers an instant exactly at its threshold, tick and manual
+// triggers never volunteer on queue depth, and firing resets the
+// pending count.
+func TestEngineTriggers(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, _ := streams(data, 6, 3)
+	e, err := engine.New(fw, engine.Config{
+		Algorithm: assign.IA, Seed: 1, Trigger: engine.BatchTrigger{N: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws[:3] {
+		ap, err := e.Apply(engine.Event{Kind: engine.WorkerArrive, Worker: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i == 2; ap.FireNow != want {
+			t.Fatalf("event %d: FireNow %v, want %v", i, ap.FireNow, want)
+		}
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending %d, want 3", e.Pending())
+	}
+	e.Fire(ws[2].At)
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after fire, want 0", e.Pending())
+	}
+	for _, trig := range []engine.Trigger{engine.TickTrigger{Every: time.Second}, engine.ManualTrigger{}} {
+		if trig.FireOnPending(1 << 20) {
+			t.Errorf("%T fired on queue depth", trig)
+		}
+	}
+	if (engine.BatchTrigger{N: 3, Fallback: time.Minute}).TickEvery() != time.Minute {
+		t.Error("batch fallback period lost")
+	}
+	if (engine.TickTrigger{Every: time.Second}).TickEvery() != time.Second {
+		t.Error("tick period lost")
+	}
+}
+
+// TestEngineSessionCapacityAdversarialStream is the bounded-memory gate:
+// a stream of entities that arrive, never match and never leave (far
+// corner, zero-radius workers, tasks valid past the horizon) grows the
+// live pool without bound — the capped session must hold its caches at
+// the capacity while producing results bit-identical to the unbounded
+// run (evicted-but-live entities recompute identical state), at
+// Parallelism 1, 2 and 8.
+func TestEngineSessionCapacityAdversarialStream(t *testing.T) {
+	fw, data := testFramework(t)
+	// A servable stream interleaved with an adversarial one.
+	ws, ts := streams(data, 30, 19)
+	rng := randx.New(77)
+	for i := 0; i < 60; i++ {
+		far := geo.Point{X: 500 + rng.Float64(), Y: 500 + rng.Float64()}
+		ws = append(ws, engine.WorkerArrival{
+			User: model.WorkerID(rng.Intn(data.Params.NumUsers)), Loc: far,
+			Radius: 0.001, At: 120 + rng.Float64()*12,
+		})
+		ts = append(ts, engine.TaskArrival{
+			Loc:     geo.Point{X: -500 - rng.Float64(), Y: -500 - rng.Float64()},
+			Publish: 120 + rng.Float64()*12, Valid: 1e6, Venue: 1,
+		})
+	}
+	sortArrivals(ws, ts)
+	const cap = 25
+	run := func(capacity, par int) (*simulate.Result, *simulate.Platform) {
+		p, err := simulate.New(fw, simulate.Config{
+			Algorithm: assign.IA, Step: 1, Start: 120, Horizon: 16,
+			Seed: 9, Parallelism: par, SessionCapacity: capacity,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(ws, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Instants = normalize(res.Instants)
+		return res, p
+	}
+	want, pw := run(0, 1)
+	if want.TotalAssigned == 0 {
+		t.Fatal("adversarial run assigned nothing; the servable substream is too sparse")
+	}
+	// The adversarial entities must actually outgrow the capacity, or the
+	// bound is never exercised.
+	if pw.Online() <= cap || pw.Open() <= cap {
+		t.Fatalf("live pool %d workers / %d tasks never exceeded capacity %d",
+			pw.Online(), pw.Open(), cap)
+	}
+	unboundedSess := pw.Session().Influence()
+	if unboundedSess.CachedTasks() <= cap {
+		t.Fatalf("unbounded cache holds %d tasks; the stream never stressed the bound", unboundedSess.CachedTasks())
+	}
+	for _, par := range paralleltest.WorkerCounts {
+		got, p := run(cap, par)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: capped session diverged from the unbounded run", par)
+		}
+		sess := p.Session().Influence()
+		if sess.CachedTasks() > cap || sess.CachedWorkers() > cap {
+			t.Fatalf("parallelism %d: caches hold %d tasks / %d workers, capacity %d",
+				par, sess.CachedTasks(), sess.CachedWorkers(), cap)
+		}
+	}
+}
+
+// TestEngineAssignCSVByteIdentical pins the streaming CSV form: two
+// identical runs render byte-identical files, the header is stable, and
+// every assigned pair of the run appears exactly once.
+func TestEngineAssignCSVByteIdentical(t *testing.T) {
+	fw, data := testFramework(t)
+	ws, ts := streams(data, 40, 5)
+	run := func() ([]byte, int) {
+		e, err := engine.New(fw, engine.Config{Algorithm: assign.IA, Seed: 3, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instants := replayGrid(t, e, ws, ts, 120, 2, 14)
+		return engine.AssignCSV(instants), e.Totals().Assigned
+	}
+	a, assigned := run()
+	b, _ := run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("streaming assignment CSV not byte-identical across identical runs")
+	}
+	lines := bytes.Split(bytes.TrimSuffix(a, []byte("\n")), []byte("\n"))
+	if string(lines[0]) != "at,task,worker,user,influence,travel_km" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if assigned == 0 {
+		t.Fatal("CSV run assigned nothing")
+	}
+	if len(lines)-1 != assigned {
+		t.Fatalf("%d CSV rows, %d assignments", len(lines)-1, assigned)
+	}
+}

@@ -193,7 +193,7 @@ func Hit(point string) {
 			os.Exit(f.code)
 		case Stall:
 			fmt.Fprintf(os.Stderr, "faultinject: stalling %dms at %s\n", f.ms, point)
-			time.Sleep(time.Duration(f.ms) * time.Millisecond)
+			time.Sleep(time.Duration(f.ms) * time.Millisecond) //dita:wallclock
 		}
 	}
 }

@@ -26,6 +26,7 @@ package influence
 
 import (
 	"fmt"
+	"sort"
 
 	"dita/internal/mobility"
 	"dita/internal/model"
@@ -38,6 +39,7 @@ import (
 // over the whole social network (Willingness).
 type taskState struct {
 	gen    uint64
+	seq    uint64 // admission order, for capacity eviction
 	theta  []float64
 	row    []float32
 	colSum float64
@@ -48,6 +50,7 @@ type taskState struct {
 // propagation sum Σ_{wi≠ws} Ppro(ws, wi).
 type userState struct {
 	gen     uint64
+	seq     uint64 // admission order, for capacity eviction
 	roots   []rootCount
 	propSum float64
 }
@@ -72,8 +75,14 @@ type Session struct {
 
 	// gen is the current instant's generation stamp; entries whose stamp
 	// is older at the end of Evaluate have left the pool and are evicted.
-	gen   uint64
-	scale float64
+	gen uint64
+	// admitSeq stamps cache insertions in admission order; capacity
+	// eviction drops the earliest-admitted entries first.
+	admitSeq uint64
+	// capacity bounds each cache (tasks and users separately) when
+	// positive; see SetCapacity.
+	capacity int
+	scale    float64
 	// models are the (lazily built, truncation-applied) per-user
 	// willingness models shared by every instant of the session.
 	models []*mobility.WorkerModel
@@ -126,6 +135,21 @@ func (s *Session) CachedTasks() int { return len(s.tasks) }
 // CachedWorkers returns how many distinct users currently have cached
 // state.
 func (s *Session) CachedWorkers() int { return len(s.users) }
+
+// SetCapacity bounds the session's carry-over memory: after each instant
+// at most n cached task states and n cached user states are retained,
+// evicting the earliest-admitted entries first (FIFO by admission
+// sequence — deterministic, since admission order is the sequential
+// instance order). n <= 0 removes the bound.
+//
+// The bound changes memory, never results: an entity that is still
+// pooled after its state was evicted is simply a cache miss at its next
+// instant, and recomputes bit-identical state because all per-entity
+// randomness is keyed by stable identity, not by which instant computed
+// it. Adversarial streams — entities that arrive, never match and never
+// leave — therefore hold at most n entries per cache instead of growing
+// with the live pool. Takes effect at the next Evaluate/Sync.
+func (s *Session) SetCapacity(n int) { s.capacity = n }
 
 // Evaluate returns the evaluator for one assignment instant, reusing
 // cached state for every task and worker seen at an earlier instant and
@@ -212,7 +236,8 @@ func (s *Session) admitUsers(users []int32) {
 	for _, u := range users {
 		st, ok := s.users[u]
 		if !ok {
-			st = &userState{}
+			s.admitSeq++
+			st = &userState{seq: s.admitSeq}
 			s.users[u] = st
 			s.pendU = append(s.pendU, pendingUser{u: u, st: st})
 		}
@@ -249,7 +274,8 @@ func (s *Session) admitTasks(inst *model.Instance) {
 		key := uint64(inst.Tasks[j].ID)
 		st, ok := s.tasks[key]
 		if !ok {
-			st = &taskState{}
+			s.admitSeq++
+			st = &taskState{seq: s.admitSeq}
 			s.tasks[key] = st
 			s.pendT = append(s.pendT, pendingTask{key: key, j: j, st: st})
 		} else if st.gen == s.gen {
@@ -290,7 +316,10 @@ func (s *Session) admitTasks(inst *model.Instance) {
 
 // evict drops cached state whose task or worker was absent from the
 // current instant (assigned, expired or gone offline); carry-over memory
-// is therefore bounded by the live pool, not the run's history.
+// is therefore bounded by the live pool, not the run's history. When a
+// capacity is set it is enforced on the survivors: the earliest-admitted
+// live entries are dropped until each cache fits, so memory is bounded
+// even when the live pool is not (adversarial never-leaving streams).
 func (s *Session) evict() {
 	for key, st := range s.tasks {
 		if st.gen != s.gen {
@@ -300,6 +329,39 @@ func (s *Session) evict() {
 	for u, st := range s.users {
 		if st.gen != s.gen {
 			delete(s.users, u)
+		}
+	}
+	if s.capacity <= 0 {
+		return
+	}
+	// Collect (admission seq, key), sort by the unique seq, drop the
+	// oldest: deterministic regardless of map iteration order.
+	type agedTask struct {
+		seq uint64
+		key uint64
+	}
+	if over := len(s.tasks) - s.capacity; over > 0 {
+		byAge := make([]agedTask, 0, len(s.tasks))
+		for key, st := range s.tasks {
+			byAge = append(byAge, agedTask{st.seq, key})
+		}
+		sort.Slice(byAge, func(i, j int) bool { return byAge[i].seq < byAge[j].seq })
+		for _, e := range byAge[:over] {
+			delete(s.tasks, e.key)
+		}
+	}
+	type agedUser struct {
+		seq uint64
+		u   int32
+	}
+	if over := len(s.users) - s.capacity; over > 0 {
+		byAge := make([]agedUser, 0, len(s.users))
+		for u, st := range s.users {
+			byAge = append(byAge, agedUser{st.seq, u})
+		}
+		sort.Slice(byAge, func(i, j int) bool { return byAge[i].seq < byAge[j].seq })
+		for _, e := range byAge[:over] {
+			delete(s.users, e.u)
 		}
 	}
 }

@@ -128,6 +128,72 @@ func TestSessionEvictsDepartedEntities(t *testing.T) {
 	}
 }
 
+// TestSessionCapacityBoundExact is the unit gate of the bounded session:
+// with a capacity far below the live pool, every instant's evaluator
+// must still be bit-identical to a cold Prepare (evicted-but-live
+// entities are cache misses that recompute identity-keyed state), while
+// both caches hold at most the capacity after every instant.
+func TestSessionCapacityBoundExact(t *testing.T) {
+	eng, inst := testWorld(t)
+	const capacity = 2
+	sess := eng.NewSession(All, 7, 2)
+	sess.SetCapacity(capacity)
+	for k, in := range instantSequence(inst) {
+		warm := sess.Evaluate(in)
+		cold := eng.Prepare(in, All, 7)
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("instant %d: capped session evaluator diverged from cold Prepare", k)
+		}
+		if len(in.Tasks) <= capacity {
+			t.Fatalf("instant %d offers %d tasks; the bound is never stressed", k, len(in.Tasks))
+		}
+		if got := sess.CachedTasks(); got > capacity {
+			t.Errorf("instant %d: %d cached tasks, capacity %d", k, got, capacity)
+		}
+		if got := sess.CachedWorkers(); got > capacity {
+			t.Errorf("instant %d: %d cached workers, capacity %d", k, got, capacity)
+		}
+	}
+	// Lifting the bound restores live-pool tracking at the next instant.
+	sess.SetCapacity(0)
+	final := instantSequence(inst)[2]
+	sess.Evaluate(final)
+	if got, want := sess.CachedTasks(), len(final.Tasks); got != want {
+		t.Errorf("after lifting the bound: %d cached tasks, want %d", got, want)
+	}
+}
+
+// TestSessionCapacityEvictsOldestFirst pins the eviction order: FIFO by
+// admission sequence, so the survivors of a capacity squeeze are exactly
+// the most recently admitted entries — deterministic regardless of map
+// iteration order.
+func TestSessionCapacityEvictsOldestFirst(t *testing.T) {
+	eng, inst := testWorld(t)
+	sess := eng.NewSession(All, 7, 1)
+	sess.SetCapacity(1)
+	sess.Evaluate(inst)
+	if sess.CachedTasks() != 1 {
+		t.Fatalf("%d cached tasks, want 1", sess.CachedTasks())
+	}
+	// The survivor is the last-admitted task: admission order is instance
+	// order, so the sole retained entry must be the final task's — and it
+	// must serve the next instant as a cache hit (same backing arrays).
+	last := inst.Tasks[len(inst.Tasks)-1]
+	st, ok := sess.tasks[uint64(last.ID)]
+	if !ok {
+		t.Fatal("last-admitted task was evicted: FIFO order broken")
+	}
+	probe := &model.Instance{Now: inst.Now + 1, Workers: inst.Workers[:1], Tasks: []model.Task{last}}
+	warm := sess.Evaluate(probe)
+	cold := eng.Prepare(probe, All, 7)
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("survivor state diverged from cold Prepare")
+	}
+	if &warm.thetaT[0][0] != &st.theta[0] {
+		t.Fatal("survivor was recomputed, not served from cache")
+	}
+}
+
 // TestSessionParallelismInvariant registers the session-backed online
 // phase with the shared determinism harness: the full multi-instant
 // evaluator sequence must be bit-identical at worker counts {1, 2, 8}.

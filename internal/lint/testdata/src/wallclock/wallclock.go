@@ -56,6 +56,32 @@ func staleDirective() int {
 	return x + 1
 }
 
+// barePacing blocks deterministic code on real time with no directive:
+// every pacing form is flagged.
+func barePacing() {
+	time.Sleep(time.Millisecond) // want "real-time time.Sleep"
+	select {
+	case <-time.After(time.Millisecond): // want "real-time time.After"
+	case <-time.Tick(time.Millisecond): // want "real-time time.Tick"
+	}
+	_ = time.NewTicker(time.Millisecond)       // want "real-time time.NewTicker"
+	_ = time.NewTimer(time.Millisecond)        // want "real-time time.NewTimer"
+	_ = time.AfterFunc(time.Millisecond, work) // want "real-time time.AfterFunc"
+}
+
+// annotatedPacing is the sanctioned serve-boundary shape: the pacing
+// call's line carries the directive (no duration audit applies — there
+// is no captured instant to leak).
+func annotatedPacing() {
+	time.Sleep(time.Millisecond)          //dita:wallclock
+	t := time.NewTicker(time.Millisecond) //dita:wallclock
+	defer t.Stop()
+	select {
+	case <-time.After(time.Millisecond): //dita:wallclock
+	case <-t.C:
+	}
+}
+
 // globalRand draws from the process-wide source: flagged, with no
 // directive escape.
 func globalRand() float64 {

@@ -9,22 +9,39 @@ import (
 
 // WallClock enforces the no-nondeterministic-inputs half of the
 // bit-identical-output contract: deterministic code may not read the
-// wall clock (time.Now, time.Since) or the process-global math/rand
-// source. Timing measurement is the one sanctioned wall-clock use —
-// per-instant latency, bench points, progress logs — and such sites opt
-// out with a //dita:wallclock directive on the call's line. The
-// directive is itself verified: it must sit on a line with a wall-clock
-// call (a stale directive is diagnosed, so exemptions cannot outlive
-// the code they excused), and a directive on time.Now additionally
-// requires the captured instant to be duration-only — every use of the
-// variable must flow into time.Since or (time.Time).Sub, never into
-// output, artifacts or control flow. Global math/rand has no directive
-// escape: deterministic randomness comes from seeded randx streams.
-// _test.go files are exempt wholesale, directives included.
+// wall clock (time.Now, time.Since), pace itself on real time
+// (time.Sleep, time.After, time.Tick, time.NewTicker, time.NewTimer,
+// time.AfterFunc), or draw from the process-global math/rand source.
+// Timing measurement and real-time pacing at the serve boundary are the
+// sanctioned wall-clock uses — per-instant latency, bench points,
+// retry backoff, the dita-serve tick loop — and such sites opt out with
+// a //dita:wallclock directive on the call's line. The directive is
+// itself verified: it must sit on a line with a wall-clock call (a
+// stale directive is diagnosed, so exemptions cannot outlive the code
+// they excused), and a directive on time.Now additionally requires the
+// captured instant to be duration-only — every use of the variable must
+// flow into time.Since or (time.Time).Sub, never into output, artifacts
+// or control flow. Global math/rand has no directive escape:
+// deterministic randomness comes from seeded randx streams. _test.go
+// files are exempt wholesale, directives included.
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "time.Now/time.Since/global math/rand in deterministic code; timing sites opt out via //dita:wallclock verified as duration-only",
+	Doc:  "time.Now/time.Since, sleeps/tickers and global math/rand in deterministic code; timing and serve-boundary sites opt out via audited //dita:wallclock",
 	Run:  runWallClock,
+}
+
+// realTimePacing lists the time-package calls that block on or schedule
+// against the wall clock. Unlike time.Now they produce no instant to
+// audit — the directive on their line is the whole exemption — but like
+// every wall-clock call they make behavior depend on real time, which
+// deterministic code must not.
+var realTimePacing = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
 }
 
 // directivePrefix is the comment form of the timing-site exemption. The
@@ -64,17 +81,24 @@ func runWallClock(pass *Pass) {
 			}
 			switch fn.Pkg().Path() {
 			case "time":
-				if fn.Name() != "Now" && fn.Name() != "Since" {
-					return true
-				}
-				d := directives[pkg.Fset.Position(call.Pos()).Line]
-				if d == nil {
-					pass.Reportf(call.Pos(), "wall-clock time.%s in deterministic code; annotate genuine timing sites with //dita:wallclock", fn.Name())
-					return true
-				}
-				d.used = true
-				if fn.Name() == "Now" && !durationOnly(pkg, parents, file, call) {
-					pass.Reportf(call.Pos(), "//dita:wallclock on a time.Now whose result is not duration-only (every use must flow into time.Since or Time.Sub)")
+				switch {
+				case fn.Name() == "Now" || fn.Name() == "Since":
+					d := directives[pkg.Fset.Position(call.Pos()).Line]
+					if d == nil {
+						pass.Reportf(call.Pos(), "wall-clock time.%s in deterministic code; annotate genuine timing sites with //dita:wallclock", fn.Name())
+						return true
+					}
+					d.used = true
+					if fn.Name() == "Now" && !durationOnly(pkg, parents, file, call) {
+						pass.Reportf(call.Pos(), "//dita:wallclock on a time.Now whose result is not duration-only (every use must flow into time.Since or Time.Sub)")
+					}
+				case realTimePacing[fn.Name()]:
+					d := directives[pkg.Fset.Position(call.Pos()).Line]
+					if d == nil {
+						pass.Reportf(call.Pos(), "real-time time.%s paces deterministic code on the wall clock; annotate serve-boundary pacing sites with //dita:wallclock", fn.Name())
+						return true
+					}
+					d.used = true
 				}
 			case "math/rand", "math/rand/v2":
 				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
@@ -90,7 +114,7 @@ func runWallClock(pass *Pass) {
 		})
 		for _, d := range directives {
 			if !d.used {
-				pass.Reportf(d.pos, "stale //dita:wallclock directive: no time.Now/time.Since call on this line")
+				pass.Reportf(d.pos, "stale //dita:wallclock directive: no wall-clock call on this line")
 			}
 		}
 	}

@@ -2,21 +2,23 @@
 // top of a trained DITA framework: multiple assignment instants per day,
 // where — per the paper's protocol — a worker stays online until
 // assigned a task, and an unassigned task remains available until it
-// expires (s.p + s.ϕ). Each instant the platform snapshots the currently
-// available workers and tasks, runs an assignment algorithm, retires the
-// matched pairs, and accumulates platform-level metrics.
+// expires (s.p + s.ϕ).
 //
-// This is the bridge between the paper's single-instance formulation
-// (internal/assign answers one instant) and what an operator would run
-// in production: a loop of instants with carry-over state.
+// The instant loop itself lives in internal/engine; this package is its
+// deterministic replay driver. Platform.Run translates time-ordered
+// arrival streams into engine events — admissions up to each grid
+// instant, then the instant itself — against an integer instant grid, so
+// a whole simulated horizon replays through exactly the machinery
+// cmd/dita-serve runs live. Replay is the batch form and serving the
+// streaming form of the same engine: fed the same event sequence they
+// produce bit-identical results, which is what the serve CI smoke leg
+// diffs byte for byte.
 //
-// Entities keep platform-stable identities for their whole lifetime:
-// a worker's ID is assigned on arrival and a task keeps the ID it was
-// published under, at every instant, so the influence session layer
-// (core.Session) can cache per-entity state across instants instead of
-// rebuilding the online phase from scratch each round. Assignment pairs
-// reference the instant's snapshot positionally, and snapshot order
-// equals pool order, so retirement needs no id translation.
+// Entities keep platform-stable identities for their whole lifetime
+// (assigned by the engine at admission, in arrival order), so the
+// influence session layer (core.Session) can cache per-entity state
+// across instants instead of rebuilding the online phase from scratch
+// each round.
 package simulate
 
 import (
@@ -26,27 +28,18 @@ import (
 
 	"dita/internal/assign"
 	"dita/internal/core"
-	"dita/internal/geo"
+	"dita/internal/engine"
 	"dita/internal/influence"
-	"dita/internal/model"
 )
 
-// ArrivingWorker is a worker joining the platform at a given time.
-type ArrivingWorker struct {
-	User   model.WorkerID
-	Loc    geo.Point
-	Radius float64
-	At     float64 // arrival time, hours
-}
+// ArrivingWorker is a worker joining the platform at a given time. It is
+// the engine's WorkerArrive payload; the alias keeps the replay driver's
+// historical API.
+type ArrivingWorker = engine.WorkerArrival
 
-// ArrivingTask is a task published at a given time.
-type ArrivingTask struct {
-	Loc        geo.Point
-	Publish    float64
-	Valid      float64
-	Categories []model.CategoryID
-	Venue      model.VenueID
-}
+// ArrivingTask is a task published at a given time (the engine's
+// TaskArrive payload).
+type ArrivingTask = engine.TaskArrival
 
 // Config drives a simulation run.
 type Config struct {
@@ -87,38 +80,16 @@ type Config struct {
 	// against the global reference) end to end. Ignored unless ColdPairs
 	// is in effect.
 	TiledColdPairs bool
+	// SessionCapacity bounds the influence session's per-entity caches
+	// with deterministic FIFO eviction (0: unbounded). Memory-only;
+	// results are bit-identical at any capacity. See
+	// engine.Config.SessionCapacity.
+	SessionCapacity int
 }
 
-// InstantResult records one assignment instant.
-type InstantResult struct {
-	At            float64
-	OnlineWorkers int
-	OpenTasks     int
-	// Prepare is the online-phase latency of the instant: the time spent
-	// building the influence evaluator (cached-session hits make this
-	// collapse for carried-over entities), or — on an instant with an
-	// empty pool side, where no assignment runs — the session's Sync,
-	// which is the same cache maintenance without an evaluator.
-	// Assignment time is in Metrics.CPU, matching the paper's phase
-	// split.
-	Prepare time.Duration
-	// PairMaint is the feasible-pair latency of the instant: maintaining
-	// the incremental pair index (or, under Config.ColdPairs /
-	// ColdPrepare, rescanning the full workers×tasks feasibility).
-	// Like Prepare it is excluded from Metrics.CPU.
-	PairMaint time.Duration
-	Metrics   core.Metrics
-	// Tiles reports the instant's tiled-pipeline shape: feasibility-graph
-	// component count and largest component for every busy instant, plus
-	// the spatial tile count when the instant's pairs came from a tiled
-	// cold scan (Config.TiledColdPairs; warm and global-cold instants
-	// leave it zero).
-	Tiles assign.TileStats
-	// Pairs are the instant's matched worker-task pairs, referencing the
-	// instant's snapshot positionally (snapshot order == pool order at
-	// that instant).
-	Pairs []model.Assignment
-}
+// InstantResult records one assignment instant (see
+// engine.InstantResult).
+type InstantResult = engine.InstantResult
 
 // Result aggregates a whole run.
 type Result struct {
@@ -131,18 +102,11 @@ type Result struct {
 	CompletionRate float64
 }
 
-// Platform is the carry-over state between instants.
+// Platform replays arrival streams through the engine on a fixed instant
+// grid; it is the engine's carry-over state plus the grid parameters.
 type Platform struct {
-	fw      *core.Framework
-	cfg     Config
-	sess    *core.Session
-	workers []model.Worker // online, not yet assigned; ID is the stable arrival id
-	tasks   []model.Task   // published, unexpired, unassigned; ID stable since publication
-	nextTID model.TaskID
-	nextWID model.WorkerID
-	// usedW/usedT are reusable retirement marks sized to the pools, so
-	// the hot instant loop rebuilds no maps.
-	usedW, usedT []bool
+	eng *engine.Engine
+	cfg Config
 }
 
 // New returns an empty platform bound to a trained framework.
@@ -153,119 +117,67 @@ func New(fw *core.Framework, cfg Config) (*Platform, error) {
 	if cfg.Horizon < 0 {
 		return nil, fmt.Errorf("simulate: negative horizon %v", cfg.Horizon)
 	}
-	if cfg.Components == 0 {
-		cfg.Components = influence.All
+	eng, err := engine.New(fw, engine.Config{
+		Algorithm:       cfg.Algorithm,
+		Components:      cfg.Components,
+		Seed:            cfg.Seed,
+		Parallelism:     cfg.Parallelism,
+		ColdPrepare:     cfg.ColdPrepare,
+		ColdPairs:       cfg.ColdPairs,
+		TiledColdPairs:  cfg.TiledColdPairs,
+		SessionCapacity: cfg.SessionCapacity,
+		Clock:           monotonicClock(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
 	}
-	p := &Platform{fw: fw, cfg: cfg}
-	if !cfg.ColdPrepare {
-		p.sess = fw.PrepareSession(cfg.Components, cfg.Seed, cfg.Parallelism)
-	}
-	return p, nil
+	return &Platform{eng: eng, cfg: cfg}, nil
 }
 
-// Run executes the instant loop over the arrival streams (each ordered
-// by time) and returns the aggregated result. Instants are indexed by
+// monotonicClock builds the engine's latency clock from the process
+// monotonic clock. The reading's zero point (the clock's creation) is
+// arbitrary: the engine only ever subtracts two readings.
+func monotonicClock() engine.Clock {
+	start := time.Now()                                      //dita:wallclock
+	return func() time.Duration { return time.Since(start) } //dita:wallclock
+}
+
+// Run replays the arrival streams (each ordered by time) through the
+// engine and returns the aggregated result. Instants are indexed by
 // integer: instant i happens at Start + i*Step, so long horizons do not
 // accumulate floating-point drift, and the instant count is fixed up
 // front as ⌊Horizon/Step⌋ (with an epsilon absorbing binary rounding):
 // a Horizon that is an exact decimal multiple of Step — 2.4 over steps
 // of 0.1, say — includes its final instant even though the accumulated
 // product overshoots the horizon by an ulp.
+//
+// Per the streaming protocol, arrivals with At/Publish <= now are
+// admitted before instant now fires (identities assigned at admission,
+// in arrival order: workers then tasks), and the instant's expiry sweep
+// runs inside the engine before the snapshot.
 func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result, error) {
 	res := &Result{}
 	wi, ti := 0, 0
 	count := int(math.Floor(p.cfg.Horizon/p.cfg.Step + 1e-9))
 	for i := 0; i <= count; i++ {
 		now := p.cfg.Start + float64(i)*p.cfg.Step
-		// Admit arrivals up to this instant; identities are assigned here
-		// and stay stable for the entity's whole platform lifetime.
 		for wi < len(workers) && workers[wi].At <= now {
-			a := workers[wi]
-			p.workers = append(p.workers, model.Worker{
-				ID: p.nextWID, User: a.User, Loc: a.Loc, Radius: a.Radius,
-			})
-			p.nextWID++
+			if _, err := p.eng.Apply(engine.Event{Kind: engine.WorkerArrive, At: now, Worker: workers[wi]}); err != nil {
+				return nil, err
+			}
 			wi++
 		}
 		for ti < len(tasks) && tasks[ti].Publish <= now {
-			a := tasks[ti]
-			p.tasks = append(p.tasks, model.Task{
-				ID: p.nextTID, Loc: a.Loc, Publish: a.Publish,
-				Valid: a.Valid, Categories: a.Categories, Venue: a.Venue,
-			})
-			p.nextTID++
+			if _, err := p.eng.Apply(engine.Event{Kind: engine.TaskArrive, At: now, Task: tasks[ti]}); err != nil {
+				return nil, err
+			}
 			ti++
 		}
-		// Expire stale tasks.
-		kept := p.tasks[:0]
-		for _, t := range p.tasks {
-			if t.Expiry() < now {
-				res.ExpiredTasks++
-				continue
-			}
-			kept = append(kept, t)
-		}
-		p.tasks = kept
-
-		if len(p.workers) == 0 || len(p.tasks) == 0 {
-			// No assignment to run, but the session caches still track the
-			// pool: new arrivals are admitted (their influence state and
-			// feasible pairs land before the next busy instant) and
-			// departed entities evicted from both the influence cache and
-			// the pair index. Sync is warm online-phase work like any
-			// other instant's Prepare, so it is timed into Prepare —
-			// leaving it untimed would under-report the session's cost on
-			// sparse streams where many instants run no assignment.
-			var prep, pairMaint time.Duration
-			if p.sess != nil {
-				inst := &model.Instance{Now: now, Workers: p.workers, Tasks: p.tasks}
-				prepStart := time.Now() //dita:wallclock
-				p.sess.Sync(inst)
-				prep = time.Since(prepStart) //dita:wallclock
-				if !p.cfg.ColdPairs {
-					pairStart := time.Now() //dita:wallclock
-					p.sess.Pairs(inst)
-					pairMaint = time.Since(pairStart) //dita:wallclock
-				}
-			}
-			res.Instants = append(res.Instants, InstantResult{
-				At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
-				Prepare: prep, PairMaint: pairMaint,
-			})
-			continue
-		}
-
-		inst := p.instance(now)
-		prepStart := time.Now() //dita:wallclock
-		var ev *influence.Evaluator
-		if p.cfg.ColdPrepare {
-			ev = p.fw.PrepareSession(p.cfg.Components, p.cfg.Seed, p.cfg.Parallelism).Prepare(inst)
-		} else {
-			ev = p.sess.Prepare(inst)
-		}
-		prep := time.Since(prepStart) //dita:wallclock
-		pairStart := time.Now()       //dita:wallclock
-		var pairs []assign.Pair
-		scanTiles := 0
-		if p.cfg.ColdPairs || p.sess == nil {
-			if p.cfg.TiledColdPairs {
-				pairs, scanTiles = assign.TiledFeasiblePairs(inst, p.fw.Speed(), p.cfg.Parallelism)
-			} else {
-				pairs = assign.FeasiblePairs(inst, p.fw.Speed())
-			}
-		} else {
-			pairs = p.sess.Pairs(inst)
-		}
-		pairMaint := time.Since(pairStart) //dita:wallclock
-		set, m, ts := p.fw.AssignPreparedPairsTiled(inst, ev, p.cfg.Algorithm, pairs, p.cfg.Parallelism)
-		ts.Tiles = scanTiles
-		res.Instants = append(res.Instants, InstantResult{
-			At: now, OnlineWorkers: len(p.workers), OpenTasks: len(p.tasks),
-			Prepare: prep, PairMaint: pairMaint, Metrics: m, Tiles: ts, Pairs: set.Pairs,
-		})
-		res.TotalAssigned += set.Len()
-		p.retire(set)
+		res.Instants = append(res.Instants, p.eng.Fire(now))
 	}
+	t := p.eng.Totals()
+	res.TotalAssigned = t.Assigned
+	res.ExpiredTasks = t.Expired
 	// Tasks still open at the horizon that can never be served count as
 	// neither assigned nor expired; only actual expiries count against
 	// the completion rate.
@@ -275,65 +187,16 @@ func (p *Platform) Run(workers []ArrivingWorker, tasks []ArrivingTask) (*Result,
 	return res, nil
 }
 
-// instance materializes the current pool as a model.Instance. Entities
-// keep their stable platform ids; position i of the instance is position
-// i of the pool, which is the instance-local mapping retire relies on.
-func (p *Platform) instance(now float64) *model.Instance {
-	inst := &model.Instance{Now: now}
-	inst.Workers = append([]model.Worker(nil), p.workers...)
-	inst.Tasks = append([]model.Task(nil), p.tasks...)
-	return inst
-}
-
-// retire removes assigned workers and tasks from the pool (workers go
-// offline once assigned, tasks are served once). Pairs index the
-// instant's snapshot, whose order equals pool order. The mark slices are
-// reused across instants and reset while compacting, so the hot loop
-// allocates nothing once the pools reach steady size.
-func (p *Platform) retire(set *model.AssignmentSet) {
-	p.usedW = resize(p.usedW, len(p.workers))
-	p.usedT = resize(p.usedT, len(p.tasks))
-	for _, pr := range set.Pairs {
-		p.usedW[pr.Worker] = true
-		p.usedT[pr.Task] = true
-	}
-	keptW := p.workers[:0]
-	for i, w := range p.workers {
-		used := p.usedW[i]
-		p.usedW[i] = false
-		if !used {
-			keptW = append(keptW, w)
-		}
-	}
-	p.workers = keptW
-	keptT := p.tasks[:0]
-	for i, t := range p.tasks {
-		used := p.usedT[i]
-		p.usedT[i] = false
-		if !used {
-			keptT = append(keptT, t)
-		}
-	}
-	p.tasks = keptT
-}
-
-// resize returns marks with length n, reusing its backing array when it
-// is large enough. Reused entries are already false: retire resets every
-// mark while compacting, and fresh allocations are zeroed.
-func resize(marks []bool, n int) []bool {
-	if cap(marks) < n {
-		return make([]bool, n)
-	}
-	return marks[:n]
-}
+// Engine exposes the platform's underlying streaming engine.
+func (p *Platform) Engine() *engine.Engine { return p.eng }
 
 // Session returns the platform's influence session, or nil when the
 // platform runs with ColdPrepare.
-func (p *Platform) Session() *core.Session { return p.sess }
+func (p *Platform) Session() *core.Session { return p.eng.Session() }
 
 // Online returns the number of currently online (unassigned) workers.
-func (p *Platform) Online() int { return len(p.workers) }
+func (p *Platform) Online() int { return p.eng.Online() }
 
 // Open returns the number of currently open (unassigned, unexpired)
 // tasks.
-func (p *Platform) Open() int { return len(p.tasks) }
+func (p *Platform) Open() int { return p.eng.Open() }
